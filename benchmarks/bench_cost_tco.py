@@ -1,0 +1,17 @@
+"""Benchmark: Section 4.2: monetary cost and TCO.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_cost_tco.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_cost_tco
+
+from conftest import run_once
+
+
+def test_cost_tco(benchmark, show):
+    result = run_once(benchmark, run_cost_tco)
+    show(result)
+    assert result.data["ratio"] == __import__("pytest").approx(0.5, abs=0.05)

@@ -1,0 +1,17 @@
+"""Benchmark: Section 3.3: DDAK pooling factor sweep.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_ddak_pooling.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_ddak_pooling
+
+from conftest import run_once
+
+
+def test_ddak_pooling(benchmark, show, quick):
+    result = run_once(benchmark, run_ddak_pooling, quick=quick)
+    show(result)
+    assert len(result.table) > 0

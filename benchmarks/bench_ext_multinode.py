@@ -1,0 +1,73 @@
+"""Extension benchmark: multi-node Moment (paper Section 5).
+
+The paper sketches extending the topology/placement co-optimization to
+clusters (NICs become topology edges).  This bench scales a fixed
+per-node configuration (2 GPUs + 4 SSDs per machine) from 1 to 4 nodes
+and reports throughput, network-crossing traffic, and the scaling
+efficiency — showing exactly the effect the paper anticipates: the
+max-flow model + DDAK "mitigate [network latency and congestion] by
+prioritizing local SSD/memory access".
+"""
+
+import pytest
+
+from repro.cluster.multinode import MultiNodeMoment
+from repro.experiments.figures import _dataset
+from repro.hardware.machines import machine_a
+from repro.simulator.pipeline import EpochSimulator, SimConfig
+from repro.utils.report import Table
+
+from conftest import run_once
+
+
+def run_multinode_scaling(quick: bool):
+    ds = _dataset("IG", quick)
+    machine = machine_a()
+    table = Table(
+        ["nodes", "gpus", "kseeds_per_s", "net_gb_per_epoch", "efficiency"],
+        title="Extension: multi-node Moment scaling (2 GPUs + 4 SSDs/node)",
+    )
+    data = {}
+    base = None
+    for n_nodes in (1, 2, 4):
+        mn = MultiNodeMoment(
+            [machine] * n_nodes, num_gpus_per_node=2, num_ssds_per_node=4
+        )
+        plan = mn.optimize(ds)
+        sim = EpochSimulator(
+            plan.topology,
+            machine,
+            ds,
+            plan.data_placement,
+            SimConfig(sample_batches=3 if quick else 6),
+        )
+        result = sim.run_epoch()
+        net_bytes = sum(
+            v
+            for k, v in result.traffic.by_resource.items()
+            if isinstance(k, tuple) and k[0] == "link" and "net" in k
+        )
+        if base is None:
+            base = result.seeds_per_s
+        eff = result.seeds_per_s / (base * n_nodes)
+        table.add_row(
+            [
+                n_nodes,
+                2 * n_nodes,
+                result.seeds_per_s / 1e3,
+                net_bytes / 1e9,
+                f"{eff:.0%}",
+            ]
+        )
+        data[n_nodes] = result.seeds_per_s
+    return table, data
+
+
+def test_ext_multinode_scaling(benchmark, quick):
+    table, data = run_once(benchmark, run_multinode_scaling, quick)
+    print()
+    table.print()
+    # more nodes must help, but below linear (network is not free)
+    assert data[2] > data[1]
+    assert data[4] > data[2]
+    assert data[4] < 4.2 * data[1]

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 1: classic layouts on Machine A.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig01_placements_a.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig1_placements_a
+
+from conftest import run_once
+
+
+def test_fig01_placements_a(benchmark, show, quick):
+    result = run_once(benchmark, run_fig1_placements_a, quick=quick)
+    show(result)
+    # paper shape: (c) best, then (a), then (d), then (b)
+    t = result.data
+    assert t["c"] <= t["a"] <= t["d"] <= t["b"]

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 2: classic layouts on Machine B.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig02_placements_b.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig2_placements_b
+
+from conftest import run_once
+
+
+def test_fig02_placements_b(benchmark, show, quick):
+    result = run_once(benchmark, run_fig2_placements_b, quick=quick)
+    show(result)
+    # paper shape: (c) best; (d) beats (a)/(b); (a) ~ (b)
+    t = result.data
+    assert t["c"] < t["d"] <= min(t["a"], t["b"]) * 1.05

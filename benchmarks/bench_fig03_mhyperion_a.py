@@ -1,0 +1,17 @@
+"""Benchmark: Figure 3: M-Hyperion per placement, Machine A.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig03_mhyperion_a.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig3_mhyperion_a
+
+from conftest import run_once
+
+
+def test_fig03_mhyperion_a(benchmark, show, quick):
+    result = run_once(benchmark, run_fig3_mhyperion_a, quick=quick)
+    show(result)
+    assert len(result.table) > 0

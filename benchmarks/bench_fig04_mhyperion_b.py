@@ -1,0 +1,17 @@
+"""Benchmark: Figure 4: M-Hyperion per placement, Machine B.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig04_mhyperion_b.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig4_mhyperion_b
+
+from conftest import run_once
+
+
+def test_fig04_mhyperion_b(benchmark, show, quick):
+    result = run_once(benchmark, run_fig4_mhyperion_b, quick=quick)
+    show(result)
+    assert len(result.table) > 0

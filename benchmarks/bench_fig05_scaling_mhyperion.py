@@ -1,0 +1,19 @@
+"""Benchmark: Figure 5: M-Hyperion 2->4 GPU scaling (placement d).
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig05_scaling_mhyperion.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig5_scaling_mhyperion
+
+from conftest import run_once
+
+
+def test_fig05_scaling_mhyperion(benchmark, show, quick):
+    result = run_once(benchmark, run_fig5_scaling_mhyperion, quick=quick)
+    show(result)
+    # paper shape: going 2 -> 4 GPUs yields little or negative scaling
+    for per_gpu in result.data.values():
+        assert per_gpu[4] <= per_gpu[2] * 1.15

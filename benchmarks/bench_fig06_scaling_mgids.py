@@ -1,0 +1,20 @@
+"""Benchmark: Figure 6: M-GIDS 2->4 GPU scaling (placement d).
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig06_scaling_mgids.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig6_scaling_mgids
+
+from conftest import run_once
+
+
+def test_fig06_scaling_mgids(benchmark, show, quick):
+    result = run_once(benchmark, run_fig6_scaling_mgids, quick=quick)
+    show(result)
+    # paper shape: little or negative scaling where M-GIDS fits at all
+    for per_gpu in result.data.values():
+        if per_gpu[2] > 0:
+            assert per_gpu[4] <= per_gpu[2] * 1.15

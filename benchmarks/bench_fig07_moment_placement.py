@@ -1,0 +1,17 @@
+"""Benchmark: Figure 7: Moment's optimized placement on Machine B.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig07_moment_placement.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig7_moment_placement
+
+from conftest import run_once
+
+
+def test_fig07_moment_placement(benchmark, show, quick):
+    result = run_once(benchmark, run_fig7_moment_placement, quick=quick)
+    show(result)
+    assert len(result.table) > 0

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 10: end-to-end Moment vs M-GIDS vs DistDGL.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig10_end_to_end.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig10_end_to_end
+
+from conftest import run_once
+
+
+def test_fig10_end_to_end(benchmark, show, quick):
+    result = run_once(benchmark, run_fig10_end_to_end, quick=quick)
+    show(result)
+    # paper shape: Moment always runs and wins; M-GIDS OOMs on UK/CL;
+    # DistDGL only fits PA
+    for (dataset, model), row in result.data.items():
+        assert row["moment"] is not None
+        if dataset in ("UK", "CL"):
+            assert row["m-gids"] is None
+        if dataset != "PA":
+            assert row["distdgl"] is None
+        for rival in ("m-gids", "distdgl"):
+            if row[rival] is not None:
+                assert row["moment"] > row[rival]

@@ -1,0 +1,17 @@
+"""Benchmark: Figure 11: classics vs Moment, Machine A.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig11_placements_vs_moment_a.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig11_placements_vs_moment_a
+
+from conftest import run_once
+
+
+def test_fig11_placements_vs_moment_a(benchmark, show, quick):
+    result = run_once(benchmark, run_fig11_placements_vs_moment_a, quick=quick)
+    show(result)
+    assert len(result.table) > 0

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 13: prediction accuracy.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig13_prediction.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig13_prediction
+
+from conftest import run_once
+
+
+def test_fig13_prediction(benchmark, show, quick):
+    result = run_once(benchmark, run_fig13_prediction, quick=quick)
+    show(result)
+    # paper shape: predictions track measurements within ~10%
+    errors = [row["error"] for row in result.data.values()]
+    assert max(errors) < 0.15

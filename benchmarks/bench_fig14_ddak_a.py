@@ -1,0 +1,20 @@
+"""Benchmark: Figure 14: DDAK vs hash, Machine A.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig14_ddak_a.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig14_ddak_a
+
+from conftest import run_once
+
+
+def test_fig14_ddak_a(benchmark, show, quick):
+    result = run_once(benchmark, run_fig14_ddak_a, quick=quick)
+    show(result)
+    # paper shape: DDAK delivers a double-digit gain on at least one
+    # placement and never loses badly
+    assert max(result.data.values()) > 0.10
+    assert min(result.data.values()) > -0.05

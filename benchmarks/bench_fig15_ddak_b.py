@@ -1,0 +1,18 @@
+"""Benchmark: Figure 15: DDAK vs hash, Machine B.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig15_ddak_b.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig15_ddak_b
+
+from conftest import run_once
+
+
+def test_fig15_ddak_b(benchmark, show, quick):
+    result = run_once(benchmark, run_fig15_ddak_b, quick=quick)
+    show(result)
+    assert max(result.data.values()) > 0.10
+    assert min(result.data.values()) > -0.05

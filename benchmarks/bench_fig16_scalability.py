@@ -1,0 +1,22 @@
+"""Benchmark: Figure 16: 1->4 GPU scalability.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig16_scalability.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig16_scalability
+
+from conftest import run_once
+
+
+def test_fig16_scalability(benchmark, show, quick):
+    result = run_once(benchmark, run_fig16_scalability, quick=quick)
+    show(result)
+    # paper shape: Moment scales better than the classic layouts
+    for machine in ("machine_a", "machine_b"):
+        moment = result.data[(machine, "moment")]
+        classic_d = result.data[(machine, "d")]
+        top = max(moment)
+        assert moment[top] / moment[1] >= classic_d[top] / classic_d[1] * 0.95

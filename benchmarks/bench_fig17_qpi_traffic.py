@@ -1,0 +1,18 @@
+"""Benchmark: Figure 17: QPI traffic, hash vs DDAK.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig17_qpi_traffic.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig17_qpi_traffic
+
+from conftest import run_once
+
+
+def test_fig17_qpi_traffic(benchmark, show, quick):
+    result = run_once(benchmark, run_fig17_qpi_traffic, quick=quick)
+    show(result)
+    # paper shape: DDAK reduces QPI traffic on the asymmetric layouts
+    assert max(result.data.values()) > 0.05

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 18: NVLink on/off.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_fig18_nvlink.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_fig18_nvlink
+
+from conftest import run_once
+
+
+def test_fig18_nvlink(benchmark, show, quick):
+    result = run_once(benchmark, run_fig18_nvlink, quick=quick)
+    show(result)
+    # paper shape: NVLink never hurts and helps where QPI paths congest
+    assert all(g >= -0.01 for g in result.data.values())
+    assert max(result.data.values()) > 0.03

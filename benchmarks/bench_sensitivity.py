@@ -1,0 +1,49 @@
+"""Sensitivity-analysis benchmarks (beyond the paper's figures).
+
+Sweeps the physical parameters the reproduction's conclusions rest on:
+GPU cache budget, cross-socket P2P bandwidth, graph skew, and feature
+dimension.
+"""
+
+from repro.experiments.sensitivity import (
+    sweep_feature_dim,
+    sweep_gpu_cache,
+    sweep_qpi_bandwidth,
+    sweep_skew,
+)
+
+from conftest import run_once
+
+
+def test_sens_gpu_cache(benchmark, show, quick):
+    result = run_once(benchmark, sweep_gpu_cache, quick=quick)
+    show(result)
+    times = list(result.data.values())
+    # monotone: more cache, never slower (within noise)
+    assert times[-1] <= times[0] * 1.02
+
+
+def test_sens_qpi_bandwidth(benchmark, show, quick):
+    result = run_once(benchmark, sweep_qpi_bandwidth, quick=quick)
+    show(result)
+    gaps = list(result.data.values())
+    # the (b)-vs-(c) gap persists even with fast interconnects
+    assert min(gaps) > 1.3
+
+
+def test_sens_skew(benchmark, show, quick):
+    result = run_once(benchmark, sweep_skew, quick=quick)
+    show(result)
+    gains = result.data
+    exps = sorted(gains)
+    # skew only helps DDAK further
+    assert gains[exps[-1]] >= gains[exps[0]] - 0.05
+
+
+def test_sens_feature_dim(benchmark, show, quick):
+    result = run_once(benchmark, sweep_feature_dim, quick=quick)
+    show(result)
+    times = result.data
+    dims = sorted(times)
+    # bigger embeddings cost more epoch time
+    assert times[dims[-1]] > times[dims[0]]

@@ -1,0 +1,17 @@
+"""Benchmark: Table 1/3: evaluation platforms.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_table1.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_table1_machines
+
+from conftest import run_once
+
+
+def test_table1(benchmark, show):
+    result = run_once(benchmark, run_table1_machines)
+    show(result)
+    assert len(result.table) > 0

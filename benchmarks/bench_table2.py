@@ -1,0 +1,17 @@
+"""Benchmark: Table 2: dataset statistics.
+
+Regenerates the paper element through :mod:`repro.experiments.figures`
+and prints the rows next to the paper's reference values.  Run with
+``pytest benchmarks/bench_table2.py --benchmark-only -s``; set
+``REPRO_FULL=1`` for full-scale datasets.
+"""
+
+from repro.experiments.figures import run_table2_datasets
+
+from conftest import run_once
+
+
+def test_table2(benchmark, show, quick):
+    result = run_once(benchmark, run_table2_datasets, quick=quick)
+    show(result)
+    assert len(result.table) > 0

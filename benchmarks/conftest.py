@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Every per-figure benchmark regenerates its paper element through
+:mod:`repro.experiments` and prints the resulting rows, so
+``pytest benchmarks/ --benchmark-only`` reproduces the whole evaluation
+section.  Set ``REPRO_FULL=1`` to run at full dataset scale (minutes);
+the default is the quick profile (CI-sized, same shapes).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return os.environ.get("REPRO_FULL", "0") != "1"
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print an ExperimentResult under pytest -s / benchmark output."""
+
+    def _show(result):
+        print()
+        result.print()
+        return result
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a runner with a single round (they are minutes-long
+    simulations, not microseconds-long kernels)."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

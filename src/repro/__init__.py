@@ -1,0 +1,64 @@
+"""repro — reproduction of *Moment* (SC '25).
+
+Moment co-optimizes a multi-GPU server's physical communication
+topology (which PCIe slot each GPU/SSD occupies) and graph-data
+placement (which memory tier holds each vertex embedding) for
+out-of-core GNN training.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the per-figure reproduction record.
+
+Quickstart::
+
+    from repro import machine_a, MomentOptimizer
+    machine = machine_a()
+    plan = MomentOptimizer(machine, num_gpus=4, num_ssds=8).optimize(dataset)
+"""
+
+from repro.core import (
+    Chassis,
+    Placement,
+    SlotGroup,
+    Topology,
+    TrafficDemand,
+    build_topology,
+    dedupe_placements,
+    enumerate_placements,
+    min_completion_time,
+    plain_max_flow,
+)
+from repro.hardware import (
+    MachineSpec,
+    classic_layouts,
+    cluster_c,
+    machine_a,
+    machine_b,
+    moment_paper_layout_b,
+)
+from repro.core.optimizer import MomentOptimizer, MomentPlan, OptimizerConfig
+from repro.runtime.system import MomentSystem, SystemResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Chassis",
+    "Placement",
+    "SlotGroup",
+    "Topology",
+    "TrafficDemand",
+    "build_topology",
+    "dedupe_placements",
+    "enumerate_placements",
+    "min_completion_time",
+    "plain_max_flow",
+    "MachineSpec",
+    "classic_layouts",
+    "cluster_c",
+    "machine_a",
+    "machine_b",
+    "moment_paper_layout_b",
+    "MomentOptimizer",
+    "MomentPlan",
+    "OptimizerConfig",
+    "MomentSystem",
+    "SystemResult",
+    "__version__",
+]

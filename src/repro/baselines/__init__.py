@@ -1,0 +1,7 @@
+"""Baseline systems: M-GIDS, M-Hyperion, DistDGL."""
+
+from repro.baselines.mgids import MGidsSystem
+from repro.baselines.mhyperion import MHyperionSystem
+from repro.baselines.distdgl import DistDglResult, DistDglSystem
+
+__all__ = ["MGidsSystem", "MHyperionSystem", "DistDglResult", "DistDglSystem"]

@@ -1,0 +1,34 @@
+"""M-Hyperion: the paper's multi-GPU extension of Hyperion (Section 2.3).
+
+Hyperion is a single-GPU out-of-core trainer with a GPU-initiated SSD
+stack; the paper extends it to multiple GPUs for the motivation study
+(Figures 1–5).  Relative to Moment it lacks:
+
+* hardware-placement optimization (it runs whatever layout it is given),
+* DDAK — data is hash-striped across each GPU's drives, with the
+  hottest vertices cached in GPU HBM / CPU DRAM,
+* shared drive access — each GPU is statically bound to
+  ``num_ssds / num_gpus`` drives (locality-first, see
+  :mod:`repro.simulator.binding`).
+"""
+
+from __future__ import annotations
+
+from repro.core.ddak import hash_place, make_bins
+from repro.runtime.system import GnnSystem
+
+
+class MHyperionSystem(GnnSystem):
+    """Multi-GPU Hyperion: hash placement + static drive binding."""
+
+    name = "m-hyperion"
+    shares_ssds = False
+
+    def place_data(self, topo, dataset, hotness, plan, traffic=None):
+        bins = make_bins(
+            topo,
+            gpu_cache_bytes=plan.gpu_cache_bytes,
+            cpu_cache_bytes=plan.cpu_cache_bytes,
+            ssd_capacity_bytes=plan.ssd_capacity_bytes,
+        )
+        return hash_place(bins, hotness, dataset.feature_bytes)

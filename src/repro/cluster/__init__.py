@@ -1,0 +1,19 @@
+"""Multi-node generalization of Moment (paper Section 5)."""
+
+from repro.cluster.multinode import (
+    ClusterBuilder,
+    ClusterNode,
+    MultiNodeMoment,
+    MultiNodePlan,
+    namespace_topology,
+    node_local_bins,
+)
+
+__all__ = [
+    "ClusterBuilder",
+    "ClusterNode",
+    "MultiNodeMoment",
+    "MultiNodePlan",
+    "namespace_topology",
+    "node_local_bins",
+]

@@ -1,0 +1,217 @@
+"""Multicommodity concurrent-flow predictor (LP formulation).
+
+The single-source max-flow model (paper Section 3.2) is fast but — as a
+single-commodity relaxation — cannot pin a transfer to its
+(source bin, destination GPU) pair: peer-cache demand can be "absorbed"
+at the owner GPU and shared-SSD demand rerouted to whichever GPU is
+nearest.  For scoring placements where those pairings *are* the
+bottleneck (cascaded switches, peer-heavy demand), we solve the exact
+maximum concurrent flow problem as a linear program:
+
+    maximize    lambda
+    subject to  sum_b x[b, e]          <= cap(e)        for every edge e
+                flow conservation of commodity b with
+                net supply  lambda * D[b, g]  at GPU g
+
+with one commodity per *source storage bin*.  Solved with
+``scipy.optimize.linprog`` (HiGHS).  ``1/lambda`` for a unit demand is
+the minimum completion time; routing is optimal, so this is still an
+optimistic model relative to the fixed-path fair-share simulator — by
+design (prediction vs. measurement, Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import lil_matrix
+
+from repro.core.flowmodel import TrafficDemand
+from repro.core.topology import LinkKind, NodeKind, Topology
+
+
+@dataclass
+class McfPrediction:
+    """Outcome of the multicommodity concurrent-flow LP."""
+
+    #: Max concurrent-flow multiplier for the given demand.
+    scale: float
+    #: Minimum completion time for the demand as given (seconds).
+    time: float
+    #: Aggregate demand bytes / time (bytes/s).
+    throughput: float
+    #: Edge utilisation at the optimum, (src, dst) -> fraction in [0,1].
+    utilisation: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def bottlenecks(self, threshold: float = 0.999) -> List[Tuple[str, str]]:
+        """Saturated edges at the optimum."""
+        return [e for e, u in self.utilisation.items() if u >= threshold]
+
+
+#: edge restrictions: None = any commodity; "device" = only SSD /
+#: GPU-cache commodities; "mem" = only CPU-memory commodities.
+_ANY, _DEVICE, _MEM = None, "device", "mem"
+
+
+def _build_edges(topo: Topology):
+    """Directed edge list ``(u, v, capacity, restriction)``.
+
+    Storage nodes are split (``name/in -> name/out``) to carry their
+    device egress ceiling; GPU caches are capped at the owner's fabric
+    egress (peer service physically leaves through the GPU's ports).
+    QPI links become *two parallel edges*: the full-rate one reserved
+    for CPU-memory commodities and a reduced one for device-to-device
+    DMA (the cross-socket P2P forwarding penalty the simulator also
+    charges).
+    """
+    storage = {n.name for n in topo.storage_nodes}
+    edges: List[Tuple[str, str, float, Optional[str]]] = []
+
+    gpu_fabric_egress: Dict[str, float] = {}
+    for gpu in topo.gpus():
+        total = 0.0
+        for succ in topo.successors(gpu):
+            if topo.node(succ).kind is not NodeKind.GPU_MEM:
+                total += topo.link(gpu, succ).capacity
+        gpu_fabric_egress[gpu] = total
+
+    for node in topo.storage_nodes:
+        egress = node.egress_bw if node.egress_bw is not None else np.inf
+        if node.kind is NodeKind.GPU_MEM:
+            owner = node.name[: -len(":mem")]
+            egress = min(egress, gpu_fabric_egress.get(owner, egress))
+        edges.append((f"{node.name}/in", f"{node.name}/out", float(egress), _ANY))
+    from repro.hardware.specs import QPI_P2P_BW
+
+    for link in topo.links:
+        src = f"{link.src}/out" if link.src in storage else link.src
+        dst = f"{link.dst}/in" if link.dst in storage else link.dst
+        cap = float(link.capacity)
+        if link.kind is LinkKind.QPI:
+            edges.append((src, dst, cap, _MEM))
+            edges.append((src, dst, min(cap, QPI_P2P_BW), _DEVICE))
+        else:
+            edges.append((src, dst, cap, _ANY))
+    return edges
+
+
+def _commodity_kind(topo: Topology, bin_name: str) -> str:
+    return (
+        _MEM
+        if topo.node(bin_name).kind is NodeKind.CPU_MEM
+        else _DEVICE
+    )
+
+
+def multicommodity_min_time(
+    topo: Topology,
+    demand: TrafficDemand,
+) -> McfPrediction:
+    """Minimum completion time of a demand under optimal routing.
+
+    Demands must reference concrete bins (no class keys); local
+    (own-GPU-cache) entries should be excluded by the caller.
+    """
+    if demand.total <= 0:
+        return McfPrediction(scale=np.inf, time=0.0, throughput=0.0)
+
+    # HiGHS misbehaves on byte-magnitude coefficients; work in GB.
+    # lambda is invariant when demands and capacities scale together.
+    unit = 1e-9
+
+    # demand matrix: commodity = source bin
+    per_bin: Dict[str, Dict[str, float]] = {}
+    for (bin_name, gpu), nbytes in demand.entries.items():
+        if bin_name.startswith("__"):
+            raise ValueError(
+                "multicommodity predictor needs concrete bins, got "
+                f"{bin_name!r}"
+            )
+        if bin_name not in topo or gpu not in topo:
+            raise KeyError(f"unknown node in demand: {bin_name!r}/{gpu!r}")
+        per_bin.setdefault(bin_name, {})[gpu] = (
+            per_bin.get(bin_name, {}).get(gpu, 0.0) + nbytes * unit
+        )
+    commodities = sorted(per_bin)
+
+    edges = [
+        (u, v, cap * unit, restr) for u, v, cap, restr in _build_edges(topo)
+    ]
+    nodes = sorted({u for u, _, _, _ in edges} | {v for _, v, _, _ in edges})
+    node_id = {n: i for i, n in enumerate(nodes)}
+    n_edges, n_nodes, n_comm = len(edges), len(nodes), len(commodities)
+
+    # variables: x[b * n_edges + e] >= 0, then lambda (last)
+    n_vars = n_comm * n_edges + 1
+    lam = n_vars - 1
+
+    # equality: conservation per (commodity, node)
+    a_eq = lil_matrix((n_comm * n_nodes, n_vars))
+    b_eq = np.zeros(n_comm * n_nodes)
+    for b, bin_name in enumerate(commodities):
+        src_node = node_id[f"{bin_name}/in"]
+        for e, (u, v, _, _) in enumerate(edges):
+            col = b * n_edges + e
+            a_eq[b * n_nodes + node_id[u], col] += 1.0  # outflow
+            a_eq[b * n_nodes + node_id[v], col] -= 1.0  # inflow
+        total_supply = sum(per_bin[bin_name].values())
+        # source supplies lambda * total; sinks absorb lambda * D[b, g]
+        a_eq[b * n_nodes + src_node, lam] -= total_supply
+        for gpu, nbytes in per_bin[bin_name].items():
+            a_eq[b * n_nodes + node_id[gpu], lam] += nbytes
+
+    # inequality: sum over commodities of x on edge e <= cap(e)
+    finite = [e for e, (_, _, cap, _) in enumerate(edges) if np.isfinite(cap)]
+    a_ub = lil_matrix((len(finite), n_vars))
+    b_ub = np.zeros(len(finite))
+    for row, e in enumerate(finite):
+        for b in range(n_comm):
+            a_ub[row, b * n_edges + e] = 1.0
+        b_ub[row] = edges[e][2]
+
+    # restricted edges: zero out forbidden (commodity, edge) variables
+    bounds = [(0, None)] * n_vars
+    kinds = [_commodity_kind(topo, bin_name) for bin_name in commodities]
+    for e, (_, _, _, restr) in enumerate(edges):
+        if restr is None:
+            continue
+        for b in range(n_comm):
+            if kinds[b] != restr:
+                bounds[b * n_edges + e] = (0, 0)
+
+    cost = np.zeros(n_vars)
+    cost[lam] = -1.0
+    res = linprog(
+        cost,
+        A_ub=a_ub.tocsr(),
+        b_ub=b_ub,
+        A_eq=a_eq.tocsr(),
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not res.success:
+        raise RuntimeError(f"multicommodity LP failed: {res.message}")
+    scale = float(res.x[lam])
+    if scale <= 0:
+        raise RuntimeError("demand is not routable at any positive rate")
+
+    utilisation: Dict[Tuple[str, str], float] = {}
+    for e, (u, v, cap, _) in enumerate(edges):
+        if not np.isfinite(cap):
+            continue
+        flow = float(sum(res.x[b * n_edges + e] for b in range(n_comm)))
+        u_name = u[:-4] if u.endswith("/out") else u
+        v_name = v[:-3] if v.endswith("/in") else v
+        utilisation[(u_name, v_name)] = min(1.0, flow / cap) if cap else 0.0
+
+    time_s = 1.0 / scale
+    return McfPrediction(
+        scale=scale,
+        time=time_s,
+        throughput=demand.total * scale,
+        utilisation=utilisation,
+    )

@@ -1,0 +1,445 @@
+"""Moment's automatic module (paper Figure 8, Sections 3.1–3.3).
+
+Pipeline, run once per (machine, device pool, dataset):
+
+1. **Hotness** — pre-sample the training workload (or accept a vector);
+2. **Tier fractions** — greedy hottest-first fill of GPU/CPU/SSD
+   capacity gives the fraction of feature traffic each tier serves;
+3. **Enumerate** — all slot-feasible hardware placements, pruned by
+   chassis-symmetry canonicalisation;
+4. **Score** — each candidate topology gets the time-bisection max-flow
+   treatment on a demand built from the tier fractions (per-GPU demand
+   is even: data-parallel training); highest predicted throughput wins;
+5. **DDAK** — the winner's per-storage-node optimal flows become the
+   ``Bin_traffic`` targets for the data-distribution-aware knapsack.
+
+The result is a :class:`MomentPlan`: hardware placement + topology +
+data placement + prediction, ready for the epoch simulator or reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ddak import DataPlacement, ddak_place, make_bins
+from repro.core.flowmodel import (
+    CPU_CLASS,
+    SSD_CLASS,
+    FlowPrediction,
+    TrafficDemand,
+    min_completion_time,
+)
+from repro.core.mcmf import McfPrediction, multicommodity_min_time
+from repro.core.placement import Placement, enumerate_placements
+from repro.core.symmetry import dedupe_placements
+from repro.core.topology import NodeKind, Topology
+from repro.graphs.datasets import ScaledDataset
+from repro.hardware.machines import MachineSpec
+from repro.sampling.hotness import presample_hotness
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Per-device embedding-cache budgets at the dataset's scale."""
+
+    gpu_cache_bytes: float
+    cpu_cache_bytes: float
+    ssd_capacity_bytes: float
+
+
+def capacity_plan(
+    machine: MachineSpec,
+    dataset: ScaledDataset,
+    gpu_cache_fraction: float = 0.6,
+    cpu_cache_vertex_fraction: float = 0.01,
+) -> CapacityPlan:
+    """Budget each tier's embedding cache.
+
+    GPUs reserve HBM for model/activations/I-O buffers and give
+    ``gpu_cache_fraction`` to embeddings.  The CPU cache follows the
+    paper's experimental setting — "leveraging CPU memory as a cache for
+    1% of the vertices from each dataset" (Section 4.1) — capped by
+    what fits after each bank's half of the graph topology (Moment
+    keeps adjacency in DRAM).  All budgets are divided by the dataset
+    scale (DESIGN.md §6).
+    """
+    check_fraction("gpu_cache_fraction", gpu_cache_fraction)
+    check_fraction("cpu_cache_vertex_fraction", cpu_cache_vertex_fraction)
+    spec = dataset.spec
+    num_banks = max(1, len(machine.chassis.memories))
+    gpu_cache = machine.gpu.hbm_bytes * gpu_cache_fraction
+    per_bank_free = max(0.0, machine.cpu.mem_bytes - spec.topology_bytes / num_banks)
+    cpu_cache_target = (
+        cpu_cache_vertex_fraction * spec.num_vertices * spec.feature_bytes
+    ) / num_banks
+    cpu_cache = min(per_bank_free, cpu_cache_target)
+    return CapacityPlan(
+        gpu_cache_bytes=dataset.scaled_capacity(gpu_cache),
+        cpu_cache_bytes=dataset.scaled_capacity(cpu_cache),
+        ssd_capacity_bytes=dataset.scaled_capacity(machine.ssd.capacity_bytes),
+    )
+
+
+def tier_fractions(
+    hotness: np.ndarray,
+    feature_bytes: int,
+    plan: CapacityPlan,
+    num_gpus: int,
+    num_banks: int = 2,
+    gpu_cache_policy: str = "replicated",
+) -> Tuple[float, float, float]:
+    """Fractions of feature traffic served by (GPU, CPU, SSD) tiers.
+
+    Assumes caches hold the hottest vertices (what both DDAK and the
+    hash baseline's hot caches do) and every access is equally likely
+    to originate at any GPU.  Under the default *replicated* GPU-cache
+    policy every GPU holds the same hot set, so the distinct GPU-cached
+    slots are one GPU's worth; the *partitioned* ablation multiplies by
+    the GPU count (distinct content, peer reads cross the fabric).
+    """
+    h = np.sort(np.asarray(hotness, dtype=np.float64))[::-1]
+    total = h.sum()
+    if total <= 0:
+        return (0.0, 0.0, 1.0)
+    copies = 1 if gpu_cache_policy == "replicated" else num_gpus
+    gpu_slots = int(plan.gpu_cache_bytes // feature_bytes) * copies
+    cpu_slots = int(plan.cpu_cache_bytes // feature_bytes) * num_banks
+    gpu_slots = min(gpu_slots, h.size)
+    cpu_slots = min(cpu_slots, h.size - gpu_slots)
+    f_gpu = float(h[:gpu_slots].sum() / total)
+    f_cpu = float(h[gpu_slots : gpu_slots + cpu_slots].sum() / total)
+    return (f_gpu, f_cpu, 1.0 - f_gpu - f_cpu)
+
+
+def scoring_demand(
+    topo: Topology,
+    fractions: Tuple[float, float, float],
+    bytes_per_gpu: float = 1e9,
+    gpu_cache_policy: str = "replicated",
+) -> TrafficDemand:
+    """Unit traffic demand used to score a candidate topology.
+
+    Every GPU demands ``bytes_per_gpu`` split across tiers per the
+    fractions.  Replicated GPU caches serve their share locally (free);
+    the partitioned ablation turns the non-own share into peer reads.
+    CPU and SSD shares use the flexible class demands so the max-flow
+    solver distributes them optimally across banks/drives.
+    """
+    f_gpu, f_cpu, f_ssd = fractions
+    gpus = topo.gpus()
+    n = len(gpus)
+    demand = TrafficDemand()
+    for gpu in gpus:
+        if gpu_cache_policy == "partitioned" and f_gpu > 0 and n > 1:
+            peers = [g for g in gpus if g != gpu]
+            peer_share = bytes_per_gpu * f_gpu * (len(peers) / n) / len(peers)
+            for peer in peers:
+                demand.add(f"{peer}:mem", gpu, peer_share)
+        if f_cpu > 0:
+            demand.add(CPU_CLASS, gpu, bytes_per_gpu * f_cpu)
+        if f_ssd > 0:
+            demand.add(SSD_CLASS, gpu, bytes_per_gpu * f_ssd)
+    return demand
+
+
+def concrete_demand(
+    topo: Topology,
+    fractions: Tuple[float, float, float],
+    storage_rate: Dict[str, float],
+    bytes_per_gpu: float = 1e9,
+    gpu_cache_policy: str = "replicated",
+) -> TrafficDemand:
+    """Concretise a scoring demand: each tier's share is split across
+    that tier's bins by the pass-1 max-flow weights, and every bin's
+    share fans out evenly over all GPUs (shared dataset)."""
+    f_gpu, f_cpu, f_ssd = fractions
+    gpus = topo.gpus()
+    n = len(gpus)
+    demand = TrafficDemand()
+
+    def spread(names, tier_fraction):
+        if not names or tier_fraction <= 0:
+            return
+        weights = np.array([max(storage_rate.get(b, 0.0), 0.0) for b in names])
+        if weights.sum() <= 0:
+            weights = np.ones(len(names))
+        weights = weights / weights.sum()
+        for name, w in zip(names, weights):
+            share = bytes_per_gpu * tier_fraction * w
+            for gpu in gpus:
+                demand.add(name, gpu, share)
+
+    spread(topo.ssds(), f_ssd)
+    spread(
+        sorted(m.name for m in topo.nodes_of_kind(NodeKind.CPU_MEM)), f_cpu
+    )
+    # partitioned-cache ablation: peer reads, even caches, even origins
+    if gpu_cache_policy == "partitioned":
+        for gpu in gpus:
+            peers = [g for g in gpus if g != gpu]
+            if peers and f_gpu > 0:
+                peer_share = (
+                    bytes_per_gpu * f_gpu * (len(peers) / n) / len(peers)
+                )
+                for peer in peers:
+                    demand.add(f"{peer}:mem", gpu, peer_share)
+    return demand
+
+
+@dataclass
+class ScoredPlacement:
+    """One scored hardware-placement candidate."""
+
+    placement: Placement
+    #: Pass-2 multicommodity throughput (bytes/s) — the ranking score.
+    throughput: float
+    #: Pass-1 flexible max-flow prediction (per-bin traffic targets).
+    prediction: FlowPrediction
+    #: Pass-2 multicommodity LP prediction (utilisation, bottlenecks).
+    mcf: "McfPrediction" = None
+
+
+@dataclass
+class MomentPlan:
+    """Everything the automatic module decides."""
+
+    placement: Placement
+    topology: Topology
+    data_placement: DataPlacement
+    prediction: FlowPrediction
+    fractions: Tuple[float, float, float]
+    hotness: np.ndarray
+    #: All candidates scored, best first.
+    scored: List[ScoredPlacement] = field(default_factory=list)
+    #: Search-space statistics (before/after symmetry pruning).
+    num_candidates: int = 0
+    num_unique: int = 0
+    optimize_seconds: float = 0.0
+
+    #: Pass-2 multicommodity prediction for the winner.
+    mcf: Optional["McfPrediction"] = None
+
+    @property
+    def predicted_throughput(self) -> float:
+        """The ranking (pass-2 multicommodity) throughput of the winner."""
+        if self.mcf is not None:
+            return self.mcf.throughput
+        return self.prediction.throughput
+
+    def summary(self) -> str:
+        """Multi-line human-readable plan description."""
+        from repro.utils.units import fmt_rate
+
+        lines = [
+            f"MomentPlan on {self.topology.name}",
+            f"  placement: {self.placement!r}",
+            f"  predicted throughput: {fmt_rate(self.prediction.throughput)}",
+            f"  tier fractions (gpu/cpu/ssd): "
+            f"{self.fractions[0]:.2f}/{self.fractions[1]:.2f}/{self.fractions[2]:.2f}",
+            f"  search space: {self.num_candidates} candidates, "
+            f"{self.num_unique} after symmetry pruning",
+            f"  bottlenecks: {', '.join(self.prediction.bottlenecks) or 'none'}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Knobs of the automatic module."""
+
+    gpu_cache_fraction: float = 0.6
+    cpu_cache_vertex_fraction: float = 0.01
+    ddak_pool_size: int = 100
+    #: Batches of pre-sampling; None = one full epoch (most faithful).
+    presample_batches: Optional[int] = None
+    #: GPU embedding-cache policy: "replicated" (default) or
+    #: "partitioned" (per-GPU content, peer reads over the fabric).
+    gpu_cache_policy: str = "replicated"
+    fanouts: Tuple[int, ...] = (25, 10)
+    score_rel_tol: float = 1e-3
+    #: Keep at most this many top candidates in the report.
+    report_top_k: int = 10
+    #: Run the exact multicommodity LP only on this many of the best
+    #: pass-1 candidates (pass 1 is optimistic, so a generous margin).
+    lp_top_k: int = 48
+    nvlink_pairs: Optional[Tuple[Tuple[int, int], ...]] = None
+    seed: SeedLike = 0
+
+
+class MomentOptimizer:
+    """The automatic hardware + data placement co-optimizer."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        num_gpus: int = 4,
+        num_ssds: int = 8,
+        config: Optional[OptimizerConfig] = None,
+    ) -> None:
+        if num_gpus < 1 or num_ssds < 1:
+            raise ValueError("need at least one GPU and one SSD")
+        self.machine = machine
+        self.num_gpus = num_gpus
+        self.num_ssds = num_ssds
+        self.config = config or OptimizerConfig()
+
+    # ------------------------------------------------------------------
+    def estimate_hotness(self, dataset: ScaledDataset) -> np.ndarray:
+        """Pre-sampling hotness pass (paper Section 3.3).
+
+        Counts are smoothed with a small degree-proxy term so vertices
+        the pre-sampling epoch happened to miss still rank sensibly
+        (hubs before leaves) instead of tying at zero.
+        """
+        from repro.sampling.hotness import degree_proxy_hotness
+
+        counts = presample_hotness(
+            dataset.graph,
+            dataset.train_ids,
+            dataset.batch_size,
+            self.config.fanouts,
+            max_batches=self.config.presample_batches,
+            seed=ensure_rng(self.config.seed),
+        )
+        proxy = degree_proxy_hotness(dataset.graph)
+        nonzero = counts[counts > 0]
+        level = float(nonzero.min()) if nonzero.size else 1.0
+        return counts + 0.01 * level * proxy / proxy.mean()
+
+    def score_placement(
+        self,
+        placement: Placement,
+        fractions: Tuple[float, float, float],
+    ) -> ScoredPlacement:
+        """Two-pass time-bisection max-flow score of one candidate.
+
+        Pass 1 uses flexible class demands: the solver decides how much
+        traffic each drive/bank should ideally serve (these weights are
+        what DDAK will realise via data placement).  Pass 2 re-scores
+        with each bin's share fanned out *evenly across GPUs* — the
+        dataset is shared, so every GPU reads from every bin; a
+        placement only scores well if that all-to-all pattern fits its
+        fabric.  Pass 2's throughput ranks candidates.
+        """
+        policy = self.config.gpu_cache_policy
+        topo = self.machine.build(
+            placement, nvlink_pairs=self.config.nvlink_pairs
+        )
+        flexible = scoring_demand(topo, fractions, gpu_cache_policy=policy)
+        pass1 = min_completion_time(
+            topo, flexible, rel_tol=self.config.score_rel_tol
+        )
+        concrete = concrete_demand(
+            topo, fractions, pass1.storage_rate, gpu_cache_policy=policy
+        )
+        pass2 = multicommodity_min_time(topo, concrete)
+        return ScoredPlacement(placement, pass2.throughput, pass1, pass2)
+
+    def optimize(
+        self,
+        dataset: ScaledDataset,
+        hotness: Optional[np.ndarray] = None,
+        candidates: Optional[Sequence[Placement]] = None,
+    ) -> MomentPlan:
+        """Run the full automatic module and return the chosen plan.
+
+        ``candidates`` restricts the hardware search (e.g. to a fixed
+        placement, for data-placement-only runs à la Section 4.5).
+        """
+        t0 = time.perf_counter()
+        cfg = self.config
+        if hotness is None:
+            hotness = self.estimate_hotness(dataset)
+        plan = capacity_plan(
+            self.machine,
+            dataset,
+            gpu_cache_fraction=cfg.gpu_cache_fraction,
+            cpu_cache_vertex_fraction=cfg.cpu_cache_vertex_fraction,
+        )
+        num_banks = len(self.machine.chassis.memories)
+        fractions = tier_fractions(
+            hotness,
+            dataset.feature_bytes,
+            plan,
+            self.num_gpus,
+            num_banks=num_banks,
+            gpu_cache_policy=cfg.gpu_cache_policy,
+        )
+
+        if candidates is None:
+            all_candidates = enumerate_placements(
+                self.machine.chassis, self.num_gpus, self.num_ssds
+            )
+            unique = dedupe_placements(all_candidates, self.machine.chassis)
+        else:
+            all_candidates = list(candidates)
+            unique = all_candidates
+        if not unique:
+            raise ValueError(
+                f"no feasible placement of {self.num_gpus} GPUs / "
+                f"{self.num_ssds} SSDs on {self.machine.name}"
+            )
+
+        # Stage 1: cheap flexible max-flow score for every candidate;
+        # Stage 2: exact multicommodity LP on the most promising ones.
+        prelim = []
+        for p in unique:
+            topo_p = self.machine.build(p, nvlink_pairs=cfg.nvlink_pairs)
+            flexible = scoring_demand(
+                topo_p, fractions, gpu_cache_policy=cfg.gpu_cache_policy
+            )
+            pass1 = min_completion_time(
+                topo_p, flexible, rel_tol=cfg.score_rel_tol
+            )
+            prelim.append((pass1.throughput, p, pass1))
+        prelim.sort(key=lambda t: -t[0])
+        finalists = prelim[: max(1, cfg.lp_top_k)]
+        scored = []
+        for _, p, pass1 in finalists:
+            topo_p = self.machine.build(p, nvlink_pairs=cfg.nvlink_pairs)
+            concrete = concrete_demand(
+                topo_p,
+                fractions,
+                pass1.storage_rate,
+                gpu_cache_policy=cfg.gpu_cache_policy,
+            )
+            pass2 = multicommodity_min_time(topo_p, concrete)
+            scored.append(
+                ScoredPlacement(p, pass2.throughput, pass1, pass2)
+            )
+        scored.sort(key=lambda s: -s.throughput)
+        best = scored[0]
+
+        topo = self.machine.build(
+            best.placement, nvlink_pairs=cfg.nvlink_pairs
+        )
+        bins = make_bins(
+            topo,
+            gpu_cache_bytes=plan.gpu_cache_bytes,
+            cpu_cache_bytes=plan.cpu_cache_bytes,
+            ssd_capacity_bytes=plan.ssd_capacity_bytes,
+            traffic=best.prediction.storage_rate,
+            gpu_cache_policy=cfg.gpu_cache_policy,
+        )
+        data_placement = ddak_place(
+            bins, hotness, dataset.feature_bytes, pool_size=cfg.ddak_pool_size
+        )
+        return MomentPlan(
+            placement=best.placement,
+            topology=topo,
+            data_placement=data_placement,
+            prediction=best.prediction,
+            fractions=fractions,
+            hotness=hotness,
+            scored=scored[: cfg.report_top_k],
+            num_candidates=len(all_candidates),
+            num_unique=len(unique),
+            optimize_seconds=time.perf_counter() - t0,
+            mcf=best.mcf,
+        )

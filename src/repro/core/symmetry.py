@@ -1,0 +1,221 @@
+"""Symmetry pruning of the placement search space (paper Section 3.2).
+
+The paper removes "symmetrical-, rotation-invariant, or physically
+equivalent structures" before scoring placements with max flow.  Two
+mechanisms:
+
+* **switch symmetry** — slots on the same switch are interchangeable.
+  This is structural in our model: a :class:`~repro.core.placement.Placement`
+  stores only per-group *counts*, so intra-group permutations never
+  appear.
+* **topological symmetry** — whole subtrees of the chassis can be
+  swapped (e.g. the two mirrored sides of Machine A).  We compute the
+  automorphism group of the chassis skeleton from scratch —
+  Weisfeiler–Lehman colour refinement for an initial partition, then
+  backtracking over colour classes — and keep one canonical placement
+  per orbit.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.placement import Chassis, Placement
+
+
+# ----------------------------------------------------------------------
+# Chassis skeleton as a coloured graph
+# ----------------------------------------------------------------------
+def _skeleton(chassis: Chassis):
+    """Return (names, colours, adjacency) for the chassis skeleton.
+
+    Nodes are interconnects, memory banks, and slot groups.  Colours
+    encode everything a swap must preserve: node role, slot units,
+    per-slot bandwidth, allowed device kinds, memory size/bandwidth.
+    Adjacency is a dict ``node -> {neighbor: edge_colour}`` where edge
+    colour encodes link capacity and kind.
+    """
+    names: List[str] = []
+    colours: Dict[str, Tuple] = {}
+    adj: Dict[str, Dict[str, Tuple]] = {}
+
+    def add(name: str, colour: Tuple) -> None:
+        names.append(name)
+        colours[name] = colour
+        adj[name] = {}
+
+    for iname, ikind in chassis.interconnects.items():
+        add(iname, ("interconnect", ikind.value))
+    for mem in chassis.memories:
+        add(mem.name, ("memory", round(mem.capacity_bytes), round(mem.bandwidth)))
+    for g in chassis.slot_groups:
+        add(
+            g.name,
+            (
+                "slots",
+                g.units,
+                round(g.link_bw),
+                tuple(sorted(g.allowed)),
+            ),
+        )
+
+    def connect(a: str, b: str, colour: Tuple) -> None:
+        adj[a][b] = colour
+        adj[b][a] = colour
+
+    for t in chassis.trunks:
+        connect(t.a, t.b, ("trunk", round(t.capacity), t.kind.value))
+    for mem in chassis.memories:
+        connect(mem.name, mem.attach, ("membus",))
+    for g in chassis.slot_groups:
+        connect(g.name, g.attach, ("slotbus",))
+    return names, colours, adj
+
+
+def _wl_refine(
+    names: Sequence[str],
+    colours: Dict[str, Tuple],
+    adj: Dict[str, Dict[str, Tuple]],
+    rounds: int = None,
+) -> Dict[str, int]:
+    """Weisfeiler–Lehman colour refinement to a stable partition."""
+    # Intern initial colours as integers.
+    palette: Dict[Tuple, int] = {}
+    colour_of: Dict[str, int] = {}
+    for n in names:
+        colour_of[n] = palette.setdefault(colours[n], len(palette))
+    rounds = rounds if rounds is not None else len(names)
+    for _ in range(rounds):
+        sigs = {}
+        for n in names:
+            neigh = tuple(
+                sorted((edge_colour, colour_of[m]) for m, edge_colour in adj[n].items())
+            )
+            sigs[n] = (colour_of[n], neigh)
+        palette2: Dict[Tuple, int] = {}
+        new = {n: palette2.setdefault(sigs[n], len(palette2)) for n in names}
+        if len(set(new.values())) == len(set(colour_of.values())):
+            colour_of = new
+            break
+        colour_of = new
+    return colour_of
+
+
+def chassis_automorphisms(chassis: Chassis) -> List[Dict[str, str]]:
+    """All automorphisms of the chassis skeleton, as node-name maps.
+
+    Exhaustive backtracking restricted to WL colour classes; chassis
+    graphs have at most a dozen nodes so this is instant.  The identity
+    is always included.
+    """
+    names, colours, adj = _skeleton(chassis)
+    wl = _wl_refine(names, colours, adj)
+
+    # Group nodes by WL colour; permutations may only map within classes.
+    classes: Dict[int, List[str]] = {}
+    for n in names:
+        classes.setdefault(wl[n], []).append(n)
+
+    order = sorted(names, key=lambda n: (wl[n], n))
+    autos: List[Dict[str, str]] = []
+
+    def consistent(mapping: Dict[str, str], a: str, b: str) -> bool:
+        # edge structure (with colours) must be preserved among mapped nodes
+        for u, eu in adj[a].items():
+            if u in mapping:
+                v = mapping[u]
+                if adj[b].get(v) != eu:
+                    return False
+        # also reverse: neighbors of b already used as images
+        inv = {v: u for u, v in mapping.items()}
+        for v, ev in adj[b].items():
+            if v in inv:
+                u = inv[v]
+                if adj[a].get(u) != ev:
+                    return False
+        return True
+
+    def backtrack(i: int, mapping: Dict[str, str], used: set) -> None:
+        if i == len(order):
+            autos.append(dict(mapping))
+            return
+        a = order[i]
+        for b in classes[wl[a]]:
+            if b in used or not consistent(mapping, a, b):
+                continue
+            mapping[a] = b
+            used.add(b)
+            backtrack(i + 1, mapping, used)
+            used.discard(b)
+            del mapping[a]
+
+    backtrack(0, {}, set())
+    return autos
+
+
+def slot_group_symmetries(chassis: Chassis) -> List[Dict[str, str]]:
+    """Automorphisms restricted to slot-group names (deduplicated)."""
+    group_names = set(chassis.group_names)
+    seen = set()
+    out: List[Dict[str, str]] = []
+    for auto in chassis_automorphisms(chassis):
+        restricted = {g: auto[g] for g in group_names}
+        key = tuple(sorted(restricted.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(restricted)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Canonicalisation of placements
+# ----------------------------------------------------------------------
+def canonical_key(
+    placement: Placement, symmetries: Sequence[Dict[str, str]]
+) -> Tuple:
+    """Orbit-canonical key: the lexicographically smallest count tuple
+    over all chassis symmetries."""
+    order = placement.chassis.group_names
+    best = None
+    for sym in symmetries:
+        permuted = tuple(
+            (
+                placement.count(_preimage(sym, g), "gpu"),
+                placement.count(_preimage(sym, g), "ssd"),
+            )
+            for g in order
+        )
+        if best is None or permuted < best:
+            best = permuted
+    return best
+
+
+def _preimage(sym: Dict[str, str], target: str) -> str:
+    for src, dst in sym.items():
+        if dst == target:
+            return src
+    raise KeyError(target)
+
+
+def dedupe_placements(
+    placements: Sequence[Placement],
+    chassis: Chassis = None,
+) -> List[Placement]:
+    """Keep one representative per symmetry orbit, preserving input order.
+
+    This is the paper's "isomorphic graph reduction" step; on Machine A
+    it roughly halves the candidate count (the two sides are mirrors).
+    """
+    if not placements:
+        return []
+    chassis = chassis or placements[0].chassis
+    syms = slot_group_symmetries(chassis)
+    seen = set()
+    out: List[Placement] = []
+    for p in placements:
+        key = canonical_key(p, syms)
+        if key not in seen:
+            seen.add(key)
+            out.append(p)
+    return out

@@ -1,0 +1,25 @@
+"""Monetary cost and TCO models (paper Section 4.2)."""
+
+from repro.costs.monetary import (
+    CLUSTER_NODE,
+    CloudPrice,
+    FOUR_GPU_INSTANCE,
+    MOMENT_MACHINE,
+    MachineCost,
+    ONE_GPU_INSTANCE,
+    cloud_cost_ratio,
+    cost_per_epoch,
+    tco_comparison,
+)
+
+__all__ = [
+    "CLUSTER_NODE",
+    "CloudPrice",
+    "FOUR_GPU_INSTANCE",
+    "MOMENT_MACHINE",
+    "MachineCost",
+    "ONE_GPU_INSTANCE",
+    "cloud_cost_ratio",
+    "cost_per_epoch",
+    "tco_comparison",
+]

@@ -1,0 +1,15 @@
+"""Experiment runners regenerating every table and figure of the paper."""
+
+from repro.experiments.registry import (
+    get_runner,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.figures import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "get_runner",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,50 @@
+"""CLI: regenerate paper experiments.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments fig10      # run one (full settings)
+    python -m repro.experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import list_experiments, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate Moment's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (e.g. fig10), or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small datasets / few simulated batches (CI-sized)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.experiment:
+        print("available experiments:")
+        for exp in list_experiments():
+            print(f"  {exp}")
+        return 0
+
+    ids = list_experiments() if args.experiment == "all" else [args.experiment]
+    for exp in ids:
+        result = run_experiment(exp, quick=args.quick)
+        result.print()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Registry mapping experiment ids to their runners.
+
+``python -m repro.experiments fig10`` (or the benchmark harness) looks
+runners up here; ``list_experiments`` powers the README's experiment
+index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import figures as F
+from repro.experiments import sensitivity as S
+
+#: experiment id -> (runner, accepts-quick-kwarg)
+_REGISTRY: Dict[str, Callable] = {
+    "table1": F.run_table1_machines,
+    "table2": F.run_table2_datasets,
+    "fig1": F.run_fig1_placements_a,
+    "fig2": F.run_fig2_placements_b,
+    "fig3": F.run_fig3_mhyperion_a,
+    "fig4": F.run_fig4_mhyperion_b,
+    "fig5": F.run_fig5_scaling_mhyperion,
+    "fig6": F.run_fig6_scaling_mgids,
+    "fig7": F.run_fig7_moment_placement,
+    "fig10": F.run_fig10_end_to_end,
+    "fig11": F.run_fig11_placements_vs_moment_a,
+    "fig12": F.run_fig12_placements_vs_moment_b,
+    "fig13": F.run_fig13_prediction,
+    "fig14": F.run_fig14_ddak_a,
+    "fig15": F.run_fig15_ddak_b,
+    "fig16": F.run_fig16_scalability,
+    "fig17": F.run_fig17_qpi_traffic,
+    "fig18": F.run_fig18_nvlink,
+    "cost": F.run_cost_tco,
+    "pooling": F.run_ddak_pooling,
+    "sens-cache": S.sweep_gpu_cache,
+    "sens-qpi": S.sweep_qpi_bandwidth,
+    "sens-skew": S.sweep_skew,
+    "sens-featdim": S.sweep_feature_dim,
+}
+
+#: runners that take no ``quick`` parameter
+_NO_QUICK = {"table1", "cost"}
+
+
+def list_experiments() -> List[str]:
+    """All experiment ids, paper order."""
+    return list(_REGISTRY)
+
+
+def get_runner(experiment_id: str) -> Callable:
+    """Look up a runner; raises ``KeyError`` with the available ids."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, quick: bool = False):
+    """Run one experiment by id."""
+    runner = get_runner(experiment_id)
+    if experiment_id in _NO_QUICK:
+        return runner()
+    return runner(quick=quick)

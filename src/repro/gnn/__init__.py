@@ -1,0 +1,46 @@
+"""NumPy GNN substrate: GraphSAGE/GAT layers, models, training loop,
+and the analytic GPU compute-cost model."""
+
+from repro.gnn.layers import Block, GATConv, GCNConv, SAGEConv, mean_aggregate
+from repro.gnn.models import GNNModel, blocks_from_sample, gat, gcn, graphsage
+from repro.gnn.training import (
+    Adam,
+    EpochStats,
+    Trainer,
+    accuracy,
+    make_planted_labels,
+    softmax_cross_entropy,
+)
+from repro.gnn.costmodel import (
+    BatchShape,
+    ComputeCostModel,
+    allreduce_seconds,
+    gat_flops,
+    gcn_flops,
+    sage_flops,
+)
+
+__all__ = [
+    "Block",
+    "GATConv",
+    "GCNConv",
+    "SAGEConv",
+    "mean_aggregate",
+    "GNNModel",
+    "blocks_from_sample",
+    "gat",
+    "gcn",
+    "graphsage",
+    "Adam",
+    "EpochStats",
+    "Trainer",
+    "accuracy",
+    "make_planted_labels",
+    "softmax_cross_entropy",
+    "BatchShape",
+    "ComputeCostModel",
+    "allreduce_seconds",
+    "gat_flops",
+    "gcn_flops",
+    "sage_flops",
+]

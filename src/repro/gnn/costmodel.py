@@ -1,0 +1,171 @@
+"""Analytic GPU compute-time model for GNN training steps.
+
+The epoch-time simulator needs per-batch *compute* durations without
+running CUDA.  We count the dominant FLOPs of a sampled-subgraph
+forward+backward pass and divide by the GPU's effective throughput
+(:attr:`~repro.hardware.specs.GpuSpec.effective_flops` — deliberately
+far below peak, since GNN kernels are irregular and memory-bound), plus
+a fixed per-batch launch/sync overhead.
+
+The paper's observation that GAT is markedly heavier than GraphSAGE
+(Fig. 10's lower GAT throughput) falls out of the attention-edge terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.hardware.specs import GpuSpec
+from repro.utils.validation import check_nonnegative, check_positive
+
+#: forward + backward costs roughly 3x the forward matmuls.
+_FWD_BWD_FACTOR = 3.0
+
+
+@dataclass(frozen=True)
+class BatchShape:
+    """Size summary of one sampled mini-batch on one GPU.
+
+    ``layers`` optionally carries per-GNN-layer work, ordered from the
+    first (feature-consuming) layer to the last: ``(dst_nodes, edges)``
+    where ``dst_nodes`` are the vertices that layer produces outputs
+    for.  When absent, FLOP counting conservatively assumes every layer
+    touches all ``num_nodes``/``num_edges`` (a loose upper bound).
+    """
+
+    num_nodes: int
+    num_edges: int
+    layers: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        check_nonnegative("num_nodes", self.num_nodes)
+        check_nonnegative("num_edges", self.num_edges)
+        for dst, edges in self.layers:
+            check_nonnegative("layer dst_nodes", dst)
+            check_nonnegative("layer edges", edges)
+
+    def layer_work(self, num_layers: int) -> Tuple[Tuple[int, int], ...]:
+        """Per-layer (dst_nodes, edges), padded with the coarse totals."""
+        if len(self.layers) == num_layers:
+            return self.layers
+        return ((self.num_nodes, self.num_edges),) * num_layers
+
+    def scaled(self, factor: float) -> "BatchShape":
+        """Scale all node/edge counts (paper-frame conversion)."""
+        return BatchShape(
+            int(self.num_nodes * factor),
+            int(self.num_edges * factor),
+            tuple(
+                (int(d * factor), int(e * factor)) for d, e in self.layers
+            ),
+        )
+
+
+def sage_flops(
+    shape: BatchShape,
+    in_dim: int,
+    hidden_dim: int = 256,
+    num_classes: int = 16,
+    num_layers: int = 2,
+) -> float:
+    """Forward FLOPs of a GraphSAGE stack on a sampled subgraph."""
+    check_positive("in_dim", in_dim)
+    dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+    total = 0.0
+    for l, (dst_nodes, edges) in enumerate(shape.layer_work(num_layers)):
+        d_in, d_out = dims[l], dims[l + 1]
+        # aggregation: one add per edge per input feature
+        total += edges * d_in
+        # two dense projections (self + neighbour): 2*d_in*d_out MACs each
+        total += dst_nodes * 2 * (2 * d_in * d_out)
+    return total
+
+
+def gcn_flops(
+    shape: BatchShape,
+    in_dim: int,
+    hidden_dim: int = 256,
+    num_classes: int = 16,
+    num_layers: int = 2,
+) -> float:
+    """Forward FLOPs of a GCN stack (one projection per layer)."""
+    check_positive("in_dim", in_dim)
+    dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+    total = 0.0
+    for l, (dst_nodes, edges) in enumerate(shape.layer_work(num_layers)):
+        d_in, d_out = dims[l], dims[l + 1]
+        total += edges * d_in            # aggregation
+        total += dst_nodes * (2 * d_in * d_out)  # single projection
+    return total
+
+
+def gat_flops(
+    shape: BatchShape,
+    in_dim: int,
+    hidden_dim: int = 64,
+    num_heads: int = 8,
+    num_classes: int = 16,
+    num_layers: int = 2,
+) -> float:
+    """Forward FLOPs of a GAT stack (projection + per-edge attention)."""
+    check_positive("in_dim", in_dim)
+    width = hidden_dim * num_heads
+    dims = [in_dim] + [width] * (num_layers - 1) + [num_classes]
+    total = 0.0
+    for l, (dst_nodes, edges) in enumerate(shape.layer_work(num_layers)):
+        d_in, d_out = dims[l], dims[l + 1]
+        # src and dst projections per layer
+        total += 2 * dst_nodes * (2 * d_in * d_out)
+        # attention scores + softmax + weighted aggregation per edge
+        total += edges * (4 * d_out)
+    return total
+
+
+@dataclass(frozen=True)
+class ComputeCostModel:
+    """Translates batch shapes into per-batch GPU seconds.
+
+    ``launch_overhead`` covers kernel launches, sampling bookkeeping and
+    Python/driver latency per iteration (a few ms on real systems).
+    """
+
+    gpu: GpuSpec
+    model_name: str  # "graphsage" | "gat"
+    in_dim: int
+    num_classes: int = 16
+    launch_overhead: float = 3e-3
+
+    def __post_init__(self) -> None:
+        if self.model_name not in ("graphsage", "gat", "gcn"):
+            raise ValueError(f"unknown model {self.model_name!r}")
+        check_positive("in_dim", self.in_dim)
+
+    def forward_flops(self, shape: BatchShape) -> float:
+        if self.model_name == "graphsage":
+            return sage_flops(shape, self.in_dim, num_classes=self.num_classes)
+        if self.model_name == "gcn":
+            return gcn_flops(shape, self.in_dim, num_classes=self.num_classes)
+        return gat_flops(shape, self.in_dim, num_classes=self.num_classes)
+
+    def batch_seconds(self, shape: BatchShape) -> float:
+        """Training-step wall time for one mini-batch on one GPU."""
+        flops = self.forward_flops(shape) * _FWD_BWD_FACTOR
+        return self.launch_overhead + flops / self.gpu.effective_flops
+
+    def sampling_seconds(self, shape: BatchShape) -> float:
+        """GPU-side sampling cost: index generation is cheap; dominated
+        by random-number generation and gather, ~1 ns/edge effective."""
+        return 0.5e-3 + shape.num_edges * 1e-9
+
+
+def allreduce_seconds(
+    param_bytes: float, num_gpus: int, link_bw: float, latency: float = 50e-6
+) -> float:
+    """Ring all-reduce time for gradient sync (2(n-1)/n data volume)."""
+    check_nonnegative("param_bytes", param_bytes)
+    check_positive("link_bw", link_bw)
+    if num_gpus <= 1:
+        return 0.0
+    volume = 2.0 * (num_gpus - 1) / num_gpus * param_bytes
+    return latency * num_gpus + volume / link_bw

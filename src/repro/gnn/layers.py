@@ -1,0 +1,309 @@
+"""GNN layers in pure NumPy with manual forward/backward.
+
+Implements the two models the paper evaluates:
+
+* :class:`SAGEConv` — GraphSAGE with mean aggregation
+  (``h' = ReLU(W_self h + W_neigh mean_{u in N(v)} h_u)``);
+* :class:`GATConv` — multi-head graph attention (LeakyReLU scores,
+  per-destination softmax, concatenated heads).
+
+Layers operate on a *block*: ``(src, dst)`` index arrays into a local
+feature matrix, where edge ``i`` means vertex ``src[i]`` aggregates from
+vertex ``dst[i]`` (the sampler's orientation).  Everything is
+vectorised via ``np.add.at`` scatter-adds; backward passes are exact
+gradients, verified against finite differences in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class Block:
+    """A message-passing structure over a local vertex numbering.
+
+    ``src[i]`` (the aggregating vertex) receives a message from
+    ``dst[i]`` (its sampled neighbour); both index rows of the feature
+    matrix.  ``num_nodes`` is the local vertex count.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        src = np.ascontiguousarray(self.src, dtype=np.int64)
+        dst = np.ascontiguousarray(self.dst, dtype=np.int64)
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise ValueError("src/dst must be equal-length 1-D arrays")
+        if src.size and (
+            min(src.min(), dst.min()) < 0
+            or max(src.max(), dst.max()) >= self.num_nodes
+        ):
+            raise ValueError("block indices out of range")
+
+    @property
+    def num_edges(self) -> int:
+        """Number of message edges in the block."""
+        return int(self.src.size)
+
+
+def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def mean_aggregate(block: Block, h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean of neighbour features per aggregating vertex.
+
+    Returns ``(agg, counts)``; vertices with no sampled neighbours get a
+    zero vector (and count 0, guarded to 1 in the divide).
+    """
+    agg = np.zeros((block.num_nodes, h.shape[1]), dtype=h.dtype)
+    np.add.at(agg, block.src, h[block.dst])
+    counts = np.bincount(block.src, minlength=block.num_nodes).astype(h.dtype)
+    agg /= np.maximum(counts, 1.0)[:, None]
+    return agg, counts
+
+
+class SAGEConv:
+    """GraphSAGE convolution with mean aggregator and optional ReLU."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        rng = ensure_rng(seed)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.params: Dict[str, np.ndarray] = {
+            "w_self": _glorot(rng, in_dim, out_dim),
+            "w_neigh": _glorot(rng, in_dim, out_dim),
+            "bias": np.zeros(out_dim),
+        }
+        self.grads: Dict[str, np.ndarray] = {}
+        self._cache: Optional[tuple] = None
+
+    def forward(self, block: Block, h: np.ndarray) -> np.ndarray:
+        """Compute the layer's output features for a block."""
+        if h.shape != (block.num_nodes, self.in_dim):
+            raise ValueError(
+                f"expected features {(block.num_nodes, self.in_dim)}, got {h.shape}"
+            )
+        agg, counts = mean_aggregate(block, h)
+        z = h @ self.params["w_self"] + agg @ self.params["w_neigh"]
+        z += self.params["bias"]
+        out = np.maximum(z, 0.0) if self.activation else z
+        self._cache = (block, h, agg, counts, z)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns d loss/d input."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        block, h, agg, counts, z = self._cache
+        g = grad_out * (z > 0) if self.activation else grad_out.copy()
+        self.grads["bias"] = g.sum(axis=0)
+        self.grads["w_self"] = h.T @ g
+        self.grads["w_neigh"] = agg.T @ g
+        grad_h = g @ self.params["w_self"].T
+        # gradient through the mean aggregation
+        grad_agg = g @ self.params["w_neigh"].T
+        grad_agg = grad_agg / np.maximum(counts, 1.0)[:, None]
+        np.add.at(grad_h, block.dst, grad_agg[block.src])
+        self._cache = None
+        return grad_h
+
+
+class GCNConv:
+    """Graph convolution (Kipf & Welling) on sampled blocks.
+
+    ``h'_v = act(W * mean({h_v} + {h_u : u in N(v)}) + b)`` — the
+    self-loop-augmented mean is the sampled-subgraph analogue of the
+    symmetric-normalised adjacency (degrees are fan-out-bounded, so the
+    mean normalisation is what DGL uses for sampled GCN too).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        rng = ensure_rng(seed)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.params: Dict[str, np.ndarray] = {
+            "w": _glorot(rng, in_dim, out_dim),
+            "bias": np.zeros(out_dim),
+        }
+        self.grads: Dict[str, np.ndarray] = {}
+        self._cache: Optional[tuple] = None
+
+    def forward(self, block: Block, h: np.ndarray) -> np.ndarray:
+        """Compute the layer's output features for a block."""
+        if h.shape != (block.num_nodes, self.in_dim):
+            raise ValueError(
+                f"expected features {(block.num_nodes, self.in_dim)}, got {h.shape}"
+            )
+        # self-loop-augmented mean: (h_v + sum_u h_u) / (1 + deg_v)
+        agg = h.copy()
+        np.add.at(agg, block.src, h[block.dst])
+        counts = 1.0 + np.bincount(block.src, minlength=block.num_nodes)
+        agg /= counts[:, None]
+        z = agg @ self.params["w"] + self.params["bias"]
+        out = np.maximum(z, 0.0) if self.activation else z
+        self._cache = (block, h, agg, counts, z)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns d loss/d input."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        block, h, agg, counts, z = self._cache
+        g = grad_out * (z > 0) if self.activation else grad_out.copy()
+        self.grads["bias"] = g.sum(axis=0)
+        self.grads["w"] = agg.T @ g
+        grad_agg = (g @ self.params["w"].T) / counts[:, None]
+        grad_h = grad_agg.copy()  # self-loop term
+        np.add.at(grad_h, block.dst, grad_agg[block.src])
+        self._cache = None
+        return grad_h
+
+
+def _segment_softmax(
+    scores: np.ndarray, seg: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Softmax of ``scores`` within groups given by ``seg`` (any order).
+
+    Numerically stabilised per segment.  ``scores`` may be 2-D
+    (edges x heads); segments apply along axis 0.
+    """
+    if scores.ndim == 1:
+        scores = scores[:, None]
+    seg_max = np.full((num_segments, scores.shape[1]), -np.inf)
+    np.maximum.at(seg_max, seg, scores)
+    shifted = scores - seg_max[seg]
+    exp = np.exp(shifted)
+    seg_sum = np.zeros((num_segments, scores.shape[1]))
+    np.add.at(seg_sum, seg, exp)
+    return exp / np.maximum(seg_sum[seg], 1e-30)
+
+
+class GATConv:
+    """Multi-head graph attention layer (Velickovic et al.).
+
+    Heads are concatenated (paper: 8 heads, hidden 64 per layer), so
+    ``out_dim`` must be divisible by ``num_heads``.  Vertices with no
+    sampled in-edges fall back to their own projected features.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        num_heads: int = 8,
+        negative_slope: float = 0.2,
+        activation: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        if out_dim % num_heads:
+            raise ValueError("out_dim must be divisible by num_heads")
+        rng = ensure_rng(seed)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.num_heads = num_heads
+        self.head_dim = out_dim // num_heads
+        self.negative_slope = negative_slope
+        self.activation = activation
+        self.params: Dict[str, np.ndarray] = {
+            "w": _glorot(rng, in_dim, out_dim),
+            "attn_src": 0.1 * rng.standard_normal((num_heads, self.head_dim)),
+            "attn_dst": 0.1 * rng.standard_normal((num_heads, self.head_dim)),
+            "bias": np.zeros(out_dim),
+        }
+        self.grads: Dict[str, np.ndarray] = {}
+        self._cache: Optional[tuple] = None
+
+    # -- forward --------------------------------------------------------
+    def forward(self, block: Block, h: np.ndarray) -> np.ndarray:
+        """Compute the layer's output features for a block."""
+        if h.shape != (block.num_nodes, self.in_dim):
+            raise ValueError(
+                f"expected features {(block.num_nodes, self.in_dim)}, got {h.shape}"
+            )
+        n, H, D = block.num_nodes, self.num_heads, self.head_dim
+        hw = (h @ self.params["w"]).reshape(n, H, D)
+        # per-node attention logits
+        a_src = np.einsum("nhd,hd->nh", hw, self.params["attn_src"])
+        a_dst = np.einsum("nhd,hd->nh", hw, self.params["attn_dst"])
+        e = a_src[block.src] + a_dst[block.dst]  # (E, H)
+        e_act = np.where(e > 0, e, self.negative_slope * e)
+        alpha = _segment_softmax(e_act, block.src, n)  # (E, H)
+        out = np.zeros((n, H, D))
+        np.add.at(out, block.src, alpha[:, :, None] * hw[block.dst])
+        # isolated vertices keep their own projection (self-fallback)
+        has_in = np.zeros(n, dtype=bool)
+        has_in[block.src] = True
+        out[~has_in] = hw[~has_in]
+        out = out.reshape(n, self.out_dim) + self.params["bias"]
+        z = out
+        final = np.maximum(z, 0.0) if self.activation else z
+        self._cache = (block, h, hw, e, e_act, alpha, has_in, z)
+        return final
+
+    # -- backward -------------------------------------------------------
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward pass; returns d loss/d input."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        block, h, hw, e, e_act, alpha, has_in, z = self._cache
+        n, H, D = block.num_nodes, self.num_heads, self.head_dim
+        g = grad_out * (z > 0) if self.activation else grad_out.copy()
+        self.grads["bias"] = g.sum(axis=0)
+        g3 = g.reshape(n, H, D)
+
+        grad_hw = np.zeros_like(hw)
+        # isolated vertices: out = hw
+        grad_hw[~has_in] += g3[~has_in]
+        g_agg = g3.copy()
+        g_agg[~has_in] = 0.0
+        # out[src] += alpha * hw[dst]
+        grad_alpha = np.einsum("ehd,ehd->eh", g_agg[block.src], hw[block.dst])
+        np.add.at(grad_hw, block.dst, alpha[:, :, None] * g_agg[block.src])
+        # softmax backward per segment: d e = alpha * (d alpha - sum alpha d alpha)
+        weighted = alpha * grad_alpha
+        seg_sum = np.zeros((n, H))
+        np.add.at(seg_sum, block.src, weighted)
+        grad_e_act = weighted - alpha * seg_sum[block.src]
+        grad_e = grad_e_act * np.where(e > 0, 1.0, self.negative_slope)
+        # e = a_src[src] + a_dst[dst]
+        grad_a_src = np.zeros((n, H))
+        grad_a_dst = np.zeros((n, H))
+        np.add.at(grad_a_src, block.src, grad_e)
+        np.add.at(grad_a_dst, block.dst, grad_e)
+        # a_src = einsum(hw, attn_src)
+        self.grads["attn_src"] = np.einsum("nhd,nh->hd", hw, grad_a_src)
+        self.grads["attn_dst"] = np.einsum("nhd,nh->hd", hw, grad_a_dst)
+        grad_hw += grad_a_src[:, :, None] * self.params["attn_src"][None]
+        grad_hw += grad_a_dst[:, :, None] * self.params["attn_dst"][None]
+
+        grad_hw2 = grad_hw.reshape(n, self.out_dim)
+        self.grads["w"] = h.T @ grad_hw2
+        grad_h = grad_hw2 @ self.params["w"].T
+        self._cache = None
+        return grad_h

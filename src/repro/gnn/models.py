@@ -1,0 +1,180 @@
+"""The paper's two GNN models as NumPy layer stacks.
+
+* :func:`graphsage` — hidden dim 256 (paper Section 4.1);
+* :func:`gat` — hidden dim 64 with 8 attention heads per layer.
+
+A :class:`GNNModel` consumes a :class:`~repro.sampling.neighbor.MiniBatchSample`
+plus a gathered feature matrix, runs layered message passing (hop
+``L-1`` block first, seed block last — DGL block order), and exposes a
+flat parameter/gradient dict for the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.gnn.layers import Block, GATConv, GCNConv, SAGEConv
+from repro.sampling.neighbor import MiniBatchSample
+from repro.utils.rng import SeedLike, ensure_rng
+
+LayerType = Union[SAGEConv, GATConv, GCNConv]
+
+
+def blocks_from_sample(sample: MiniBatchSample) -> List[Block]:
+    """Convert a sampled mini-batch to local-index message blocks.
+
+    All hops share the batch's unique-vertex numbering; block ``l``
+    carries hop ``l``'s sampled edges.  Models consume them outermost
+    hop first so information flows toward the seeds.
+    """
+    vocab = sample.unique_vertices
+    n = int(vocab.size)
+    blocks = []
+    for layer in sample.layers:
+        src = np.searchsorted(vocab, layer.src)
+        dst = np.searchsorted(vocab, layer.dst)
+        blocks.append(Block(src, dst, n))
+    return blocks
+
+
+class GNNModel:
+    """A stack of message-passing layers with a classifier head."""
+
+    def __init__(self, layers: Sequence[LayerType], name: str) -> None:
+        if not layers:
+            raise ValueError("model needs at least one layer")
+        self.layers = list(layers)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        """Number of message-passing layers."""
+        return len(self.layers)
+
+    @property
+    def in_dim(self) -> int:
+        """Input feature dimension."""
+        return self.layers[0].in_dim
+
+    @property
+    def out_dim(self) -> int:
+        """Output (class-logit) dimension."""
+        return self.layers[-1].out_dim
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """Flat ``{"layerI.name": array}`` view of all parameters."""
+        out: Dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for key, val in layer.params.items():
+                out[f"layer{i}.{key}"] = val
+        return out
+
+    def gradients(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for key, val in layer.grads.items():
+                out[f"layer{i}.{key}"] = val
+        return out
+
+    def set_parameters(self, params: Dict[str, np.ndarray]) -> None:
+        for i, layer in enumerate(self.layers):
+            for key in layer.params:
+                layer.params[key] = params[f"layer{i}.{key}"]
+
+    @property
+    def num_parameters(self) -> int:
+        """Total trainable parameter count."""
+        return sum(p.size for p in self.parameters().values())
+
+    @property
+    def parameter_bytes(self) -> int:
+        """fp32 model size — what DDP all-reduces each step."""
+        return self.num_parameters * 4
+
+    # ------------------------------------------------------------------
+    def forward(self, sample: MiniBatchSample, features: np.ndarray) -> np.ndarray:
+        """Run message passing; returns logits for *all* local vertices
+        (callers slice out the seed rows)."""
+        blocks = blocks_from_sample(sample)
+        if len(blocks) != len(self.layers):
+            raise ValueError(
+                f"sample has {len(blocks)} hops but model has "
+                f"{len(self.layers)} layers"
+            )
+        h = features
+        # outermost hop first: reversed block order
+        for layer, block in zip(self.layers, reversed(blocks)):
+            h = layer.forward(block, h)
+        return h
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        """Backprop through all layers; returns d loss / d features."""
+        g = grad_logits
+        for layer in reversed(self.layers):
+            g = layer.backward(g)
+        return g
+
+
+def graphsage(
+    in_dim: int,
+    num_classes: int,
+    hidden_dim: int = 256,
+    num_layers: int = 2,
+    seed: SeedLike = None,
+) -> GNNModel:
+    """GraphSAGE as configured in the paper (hidden 256, 2 hops)."""
+    rng = ensure_rng(seed)
+    dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+    layers = [
+        SAGEConv(dims[i], dims[i + 1], activation=(i < num_layers - 1), seed=rng)
+        for i in range(num_layers)
+    ]
+    return GNNModel(layers, "graphsage")
+
+
+def gcn(
+    in_dim: int,
+    num_classes: int,
+    hidden_dim: int = 256,
+    num_layers: int = 2,
+    seed: SeedLike = None,
+) -> GNNModel:
+    """GCN (paper Section 3.1 lists it as a supported input model)."""
+    rng = ensure_rng(seed)
+    dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+    layers = [
+        GCNConv(dims[i], dims[i + 1], activation=(i < num_layers - 1), seed=rng)
+        for i in range(num_layers)
+    ]
+    return GNNModel(layers, "gcn")
+
+
+def gat(
+    in_dim: int,
+    num_classes: int,
+    hidden_dim: int = 64,
+    num_heads: int = 8,
+    num_layers: int = 2,
+    seed: SeedLike = None,
+) -> GNNModel:
+    """GAT as configured in the paper (hidden 64, 8 heads per layer).
+
+    Hidden layers output ``hidden_dim * num_heads`` concatenated
+    features; the final layer is single-head onto the classes.
+    """
+    rng = ensure_rng(seed)
+    layers: List[LayerType] = []
+    dim = in_dim
+    for i in range(num_layers - 1):
+        layer = GATConv(
+            dim, hidden_dim * num_heads, num_heads=num_heads, seed=rng
+        )
+        layers.append(layer)
+        dim = hidden_dim * num_heads
+    layers.append(
+        GATConv(dim, num_classes, num_heads=1, activation=False, seed=rng)
+    )
+    return GNNModel(layers, "gat")

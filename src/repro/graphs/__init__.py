@@ -1,0 +1,50 @@
+"""Graph substrate: CSR container, generators, dataset registry,
+training-vertex partitioning."""
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    community_graph,
+    degree_gini,
+    erdos_renyi_graph,
+    power_law_graph,
+    rmat_graph,
+)
+from repro.graphs.datasets import (
+    CLUEWEB,
+    DATASETS,
+    DatasetSpec,
+    IGB_HOM,
+    PAPER100M,
+    ScaledDataset,
+    UK_2014,
+    get_dataset,
+    tiny_dataset,
+)
+from repro.graphs.partition import (
+    partition_contiguous,
+    partition_random,
+    partition_round_robin,
+    validate_partition,
+)
+
+__all__ = [
+    "CSRGraph",
+    "community_graph",
+    "degree_gini",
+    "erdos_renyi_graph",
+    "power_law_graph",
+    "rmat_graph",
+    "CLUEWEB",
+    "DATASETS",
+    "DatasetSpec",
+    "IGB_HOM",
+    "PAPER100M",
+    "ScaledDataset",
+    "UK_2014",
+    "get_dataset",
+    "tiny_dataset",
+    "partition_contiguous",
+    "partition_random",
+    "partition_round_robin",
+    "validate_partition",
+]

@@ -1,0 +1,148 @@
+"""Compressed-sparse-row graph container.
+
+The library's single graph representation: an immutable CSR adjacency
+(out-neighbours) over ``int64`` vertex ids, plus optional feature
+metadata.  Terabyte-scale paper graphs are *described* (vertex/edge
+counts, feature bytes) by :mod:`repro.graphs.datasets` and *instantiated*
+at a reduced scale through the generators; everything downstream
+(sampling, hotness, DDAK, the simulator) operates on this container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An immutable directed graph in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64[num_vertices + 1]`` — neighbour-range offsets.
+    indices:
+        ``int64[num_edges]`` — concatenated out-neighbour lists.
+    feature_dim:
+        Per-vertex embedding width (elements).
+    feature_bytes_per_elem:
+        Bytes per embedding element (4 for fp32 — the paper's setting).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    feature_dim: int = 1024
+    feature_bytes_per_elem: int = 4
+
+    def __post_init__(self) -> None:
+        indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr/indices must be 1-D")
+        if indptr.size == 0:
+            raise ValueError("indptr must have at least one entry")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ValueError("indptr must start at 0 and end at num_edges")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_vertices):
+            raise ValueError("indices reference out-of-range vertices")
+        if self.feature_dim <= 0 or self.feature_bytes_per_elem <= 0:
+            raise ValueError("feature dimensions must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self.indices.size)
+
+    @property
+    def feature_bytes(self) -> int:
+        """Bytes of one vertex embedding (4 KiB in the paper's setup)."""
+        return self.feature_dim * self.feature_bytes_per_elem
+
+    @property
+    def total_feature_bytes(self) -> int:
+        """Bytes of the full embedding table."""
+        return self.num_vertices * self.feature_bytes
+
+    @property
+    def topology_bytes(self) -> int:
+        """Approximate CSR storage footprint (what sits in CPU memory)."""
+        return int(self.indptr.nbytes + self.indices.nbytes)
+
+    def out_degree(self, v: Optional[np.ndarray] = None) -> np.ndarray:
+        """Out-degrees, for all vertices or a vertex-id array."""
+        degs = np.diff(self.indptr)
+        return degs if v is None else degs[np.asarray(v, dtype=np.int64)]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbour view of vertex ``v`` (no copy)."""
+        if not 0 <= v < self.num_vertices:
+            raise IndexError(f"vertex {v} out of range")
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        src: Sequence[int],
+        dst: Sequence[int],
+        feature_dim: int = 1024,
+        feature_bytes_per_elem: int = 4,
+        dedupe: bool = True,
+    ) -> "CSRGraph":
+        """Build from an edge list (vectorised sort-based construction)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same length")
+        if src.size and (
+            src.min() < 0
+            or dst.min() < 0
+            or src.max() >= num_vertices
+            or dst.max() >= num_vertices
+        ):
+            raise ValueError("edge endpoints out of range")
+        if dedupe and src.size:
+            key = src * num_vertices + dst
+            _, keep = np.unique(key, return_index=True)
+            src, dst = src[keep], dst[keep]
+        order = np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+        counts = np.bincount(src, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst, feature_dim, feature_bytes_per_elem)
+
+    def to_undirected(self) -> "CSRGraph":
+        """Symmetrise: add the reverse of every edge (deduplicated)."""
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+        )
+        all_src = np.concatenate([src, self.indices])
+        all_dst = np.concatenate([self.indices, src])
+        return CSRGraph.from_edges(
+            self.num_vertices,
+            all_src,
+            all_dst,
+            self.feature_dim,
+            self.feature_bytes_per_elem,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(V={self.num_vertices:,}, E={self.num_edges:,}, "
+            f"feat={self.feature_dim}x{self.feature_bytes_per_elem}B)"
+        )

@@ -1,0 +1,243 @@
+"""Dataset registry: the paper's four graphs and their scaled stand-ins.
+
+Table 2 of the paper:
+
+============  ======  ======  =======  =======
+Dataset       PA      IG      UK       CL
+============  ======  ======  =======  =======
+Vertices      111 M   269 M   0.79 B   1 B
+Edges         1.6 B   4 B     47.2 B   42.5 B
+Topology      14 GB   34 GB   384 GB   348 GB
+Feature dim   1024    1024    1024     1024
+Features      56 GB   1.1 TB  3.2 TB   4.1 TB
+============  ======  ======  =======  =======
+
+We cannot hold terabyte graphs, so each spec carries a ``default_scale``
+and :meth:`DatasetSpec.build` instantiates the graph at ``1/scale``
+vertices/edges with a matching batch size (paper: 8000).  The scaling
+rule (DESIGN.md §6): divide every byte capacity by the same ``scale``
+and multiply simulated times by ``scale`` — traffic fractions, cache
+hit-rates and bottleneck identities are invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import power_law_graph
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.units import GB, TB
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Paper-scale description of one evaluation graph."""
+
+    key: str
+    name: str
+    num_vertices: int
+    num_edges: int
+    feature_dim: int
+    topology_bytes: float
+    feature_storage_bytes: float
+    #: Zipf exponent of the scaled stand-in (web graphs are more skewed).
+    skew_exponent: float
+    #: Default down-scaling factor for local instantiation.
+    default_scale: int
+    train_fraction: float = 0.01
+    batch_size: int = 8000
+
+    @property
+    def avg_degree(self) -> float:
+        """Mean out-degree at paper scale."""
+        return self.num_edges / self.num_vertices
+
+    @property
+    def feature_bytes(self) -> int:
+        """Bytes per vertex embedding (fp32)."""
+        return self.feature_dim * 4
+
+    @property
+    def total_bytes(self) -> float:
+        """Topology + features — what DistDGL must hold in cluster DRAM."""
+        return self.topology_bytes + self.feature_storage_bytes
+
+    def build(
+        self,
+        scale: Optional[float] = None,
+        seed: SeedLike = 0,
+        feature_dim: Optional[int] = None,
+    ) -> "ScaledDataset":
+        """Instantiate a scaled stand-in graph with matching skew.
+
+        ``scale`` defaults to :attr:`default_scale`; larger values build
+        smaller, faster graphs (tests use ``scale * 50``).
+        """
+        scale = float(scale if scale is not None else self.default_scale)
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        rng = ensure_rng(seed)
+        n = max(1000, int(round(self.num_vertices / scale)))
+        graph = power_law_graph(
+            num_vertices=n,
+            avg_degree=self.avg_degree,
+            exponent=self.skew_exponent,
+            seed=rng,
+            feature_dim=feature_dim if feature_dim is not None else self.feature_dim,
+        )
+        batch = max(16, int(round(self.batch_size / scale)))
+        num_train = max(batch, int(round(n * self.train_fraction)))
+        train_ids = rng.choice(n, size=num_train, replace=False).astype(np.int64)
+        return ScaledDataset(
+            spec=self,
+            graph=graph,
+            train_ids=np.sort(train_ids),
+            scale=scale,
+            batch_size=batch,
+        )
+
+
+@dataclass(frozen=True)
+class ScaledDataset:
+    """A locally instantiated stand-in for a paper dataset."""
+
+    spec: DatasetSpec
+    graph: CSRGraph
+    train_ids: np.ndarray
+    scale: float
+    batch_size: int
+
+    @property
+    def num_batches(self) -> int:
+        """Seed mini-batches per epoch at the instantiated scale."""
+        return max(1, int(np.ceil(self.train_ids.size / self.batch_size)))
+
+    @property
+    def batch_ratio(self) -> float:
+        """Paper batch size over instantiated batch size: the factor
+        converting per-step quantities to paper magnitude.  Equals
+        ``scale`` except when the batch-size floor (16) kicked in."""
+        return self.spec.batch_size / self.batch_size
+
+    @property
+    def feature_bytes(self) -> int:
+        """Bytes per embedding — *not* scaled (dim is unchanged)."""
+        return self.graph.feature_bytes
+
+    def scaled_capacity(self, paper_bytes: float) -> float:
+        """Convert a paper-scale byte capacity to this instance's scale."""
+        return paper_bytes / self.scale
+
+    def to_paper_time(self, simulated_seconds: float) -> float:
+        """Rescale a simulated duration to paper-comparable magnitude."""
+        return simulated_seconds * self.scale
+
+    def __repr__(self) -> str:
+        return (
+            f"ScaledDataset({self.spec.key}, 1/{self.scale:g} scale, "
+            f"{self.graph!r}, batch={self.batch_size})"
+        )
+
+
+PAPER100M = DatasetSpec(
+    key="PA",
+    name="Paper100M",
+    num_vertices=111_000_000,
+    num_edges=1_600_000_000,
+    feature_dim=1024,
+    topology_bytes=14 * GB,
+    feature_storage_bytes=56 * GB,
+    skew_exponent=0.70,
+    default_scale=200,
+)
+
+IGB_HOM = DatasetSpec(
+    key="IG",
+    name="IGB-HOM",
+    num_vertices=269_000_000,
+    num_edges=4_000_000_000,
+    feature_dim=1024,
+    topology_bytes=34 * GB,
+    feature_storage_bytes=1.1 * TB,
+    skew_exponent=0.75,
+    default_scale=400,
+)
+
+UK_2014 = DatasetSpec(
+    key="UK",
+    name="UK-2014",
+    num_vertices=790_000_000,
+    num_edges=47_200_000_000,
+    feature_dim=1024,
+    topology_bytes=384 * GB,
+    feature_storage_bytes=3.2 * TB,
+    skew_exponent=0.95,
+    default_scale=1600,
+)
+
+CLUEWEB = DatasetSpec(
+    key="CL",
+    name="ClueWeb",
+    num_vertices=1_000_000_000,
+    num_edges=42_500_000_000,
+    feature_dim=1024,
+    topology_bytes=348 * GB,
+    feature_storage_bytes=4.1 * TB,
+    skew_exponent=0.95,
+    default_scale=2000,
+)
+
+#: Registry in the paper's column order.
+DATASETS: Dict[str, DatasetSpec] = {
+    d.key: d for d in (PAPER100M, IGB_HOM, UK_2014, CLUEWEB)
+}
+
+
+def get_dataset(key: str) -> DatasetSpec:
+    """Look up a dataset spec by its two-letter paper key."""
+    try:
+        return DATASETS[key.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {key!r}; available: {sorted(DATASETS)}"
+        ) from None
+
+
+def tiny_dataset(
+    num_vertices: int = 2000,
+    avg_degree: float = 8.0,
+    seed: SeedLike = 0,
+    feature_dim: int = 32,
+    batch_size: int = 64,
+    skew_exponent: float = 0.8,
+) -> ScaledDataset:
+    """A small synthetic dataset for unit tests and quickstart examples.
+
+    Reported as a 1/1-scale dataset of itself (no paper counterpart).
+    """
+    rng = ensure_rng(seed)
+    spec = DatasetSpec(
+        key="TINY",
+        name="tiny-synthetic",
+        num_vertices=num_vertices,
+        num_edges=int(num_vertices * avg_degree),
+        feature_dim=feature_dim,
+        topology_bytes=num_vertices * avg_degree * 8,
+        feature_storage_bytes=num_vertices * feature_dim * 4,
+        skew_exponent=skew_exponent,
+        default_scale=1,
+        batch_size=batch_size,
+    )
+    graph = power_law_graph(
+        num_vertices, avg_degree, exponent=skew_exponent, seed=rng,
+        feature_dim=feature_dim,
+    )
+    num_train = max(batch_size, int(num_vertices * 0.05))
+    train_ids = np.sort(
+        rng.choice(num_vertices, size=num_train, replace=False).astype(np.int64)
+    )
+    return ScaledDataset(spec, graph, train_ids, scale=1.0, batch_size=batch_size)

@@ -1,0 +1,49 @@
+"""Evaluation-platform models: device specs, machines A/B, Cluster C."""
+
+from repro.hardware.specs import (
+    A100_40GB,
+    CPU_MEM_BW,
+    GPU_HBM_BW,
+    GpuSpec,
+    NVLINK_BW,
+    P5510,
+    PCIE3_X16,
+    PCIE4_X16,
+    PCIE4_X4,
+    QPI_BW,
+    SsdSpec,
+    CpuSpec,
+    pcie_bw,
+)
+from repro.hardware.machines import (
+    ClusterSpec,
+    MachineSpec,
+    classic_layouts,
+    cluster_c,
+    machine_a,
+    machine_b,
+    moment_paper_layout_b,
+)
+
+__all__ = [
+    "A100_40GB",
+    "CPU_MEM_BW",
+    "GPU_HBM_BW",
+    "GpuSpec",
+    "NVLINK_BW",
+    "P5510",
+    "PCIE3_X16",
+    "PCIE4_X16",
+    "PCIE4_X4",
+    "QPI_BW",
+    "SsdSpec",
+    "CpuSpec",
+    "pcie_bw",
+    "ClusterSpec",
+    "MachineSpec",
+    "classic_layouts",
+    "cluster_c",
+    "machine_a",
+    "machine_b",
+    "moment_paper_layout_b",
+]

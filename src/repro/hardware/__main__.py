@@ -1,0 +1,56 @@
+"""CLI: describe the built-in machines or a custom chassis file.
+
+Usage::
+
+    python -m repro.hardware                 # list machines
+    python -m repro.hardware a               # describe Machine A
+    python -m repro.hardware b --layout c    # topology of layout (c)
+    python -m repro.hardware my_server.txt   # parse + describe a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.hardware.machines import classic_layouts, machine_a, machine_b
+from repro.hardware.pcie import parse_chassis, render_chassis
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.hardware")
+    parser.add_argument(
+        "target", nargs="?",
+        help="'a', 'b', or a path to a chassis description file",
+    )
+    parser.add_argument(
+        "--layout", choices=["a", "b", "c", "d"],
+        help="also print the runtime topology of a classic layout",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.target:
+        print("built-in machines: a (balanced), b (cascaded)")
+        print("or pass a chassis description file (see repro.hardware.pcie)")
+        return 0
+
+    if args.target in ("a", "b"):
+        machine = machine_a() if args.target == "a" else machine_b()
+        print(render_chassis(machine.chassis))
+        if args.layout:
+            placement = classic_layouts(machine)[args.layout]
+            print(machine.build(placement).describe())
+        return 0
+
+    path = pathlib.Path(args.target)
+    if not path.exists():
+        print(f"error: no such machine or file: {args.target}", file=sys.stderr)
+        return 1
+    chassis = parse_chassis(path.read_text())
+    print(render_chassis(chassis))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""Textual PCIe-tree description parser (the lspci/dmidecode stand-in).
+
+On real hardware Moment "extracts the server's communication topology
+via Linux commands and libraries like lspci and dmidecode" (Section
+3.1).  We substitute a small declarative text format describing the
+same information — root complexes, switches, trunk links with lane
+widths, DRAM banks, and slot groups — and parse it into a
+:class:`~repro.core.placement.Chassis`.  Machine descriptions can then
+be versioned as plain files and fed to the optimizer exactly like the
+built-in Machine A/B models.
+
+Format (``#`` comments, blank lines ignored)::
+
+    machine my_server
+    rc rc0
+    rc rc1
+    switch plx0
+    link rc0 rc1 qpi            # socket interconnect
+    link rc0 plx0 pcie4 x16 bus9
+    mem mem0 rc0 384GiB
+    slots rc0.bays rc0 4 x4 ssd bus1-4
+    slots plx0.slots plx0 12 x16 gpu,ssd bus12-15
+
+Widths are ``x1..x16``; ``pcieN`` selects the generation; byte sizes
+accept ``GiB``/``GB`` suffixes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.core.placement import Chassis, SlotGroup
+from repro.core.topology import LinkKind, NodeKind
+from repro.hardware.specs import NVLINK_BW, QPI_BW, pcie_bw
+from repro.utils.units import GB, GiB
+
+
+class PcieParseError(ValueError):
+    """A malformed line in a chassis description."""
+
+    def __init__(self, lineno: int, line: str, reason: str) -> None:
+        super().__init__(f"line {lineno}: {reason}: {line!r}")
+        self.lineno = lineno
+        self.line = line
+
+
+_SIZE_RE = re.compile(r"^(\d+(?:\.\d+)?)(GiB|GB|TiB|TB|MiB|MB)$")
+_SIZE_UNITS = {
+    "GiB": GiB,
+    "GB": GB,
+    "TiB": GiB * 1024,
+    "TB": GB * 1000,
+    "MiB": GiB / 1024,
+    "MB": GB / 1000,
+}
+
+
+def _parse_size(token: str, lineno: int, line: str) -> float:
+    m = _SIZE_RE.match(token)
+    if not m:
+        raise PcieParseError(lineno, line, f"bad size {token!r}")
+    return float(m.group(1)) * _SIZE_UNITS[m.group(2)]
+
+
+def _parse_width(token: str, lineno: int, line: str) -> int:
+    if not token.startswith("x"):
+        raise PcieParseError(lineno, line, f"bad lane width {token!r}")
+    try:
+        lanes = int(token[1:])
+    except ValueError:
+        raise PcieParseError(lineno, line, f"bad lane width {token!r}")
+    return lanes
+
+
+def parse_chassis(text: str) -> Chassis:
+    """Parse a chassis description; see the module docstring for the
+    grammar.  Raises :class:`PcieParseError` with the offending line."""
+    chassis: Chassis = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        kw = tokens[0].lower()
+
+        if kw == "machine":
+            if len(tokens) != 2:
+                raise PcieParseError(lineno, raw, "machine needs a name")
+            if chassis is not None:
+                raise PcieParseError(lineno, raw, "duplicate machine line")
+            chassis = Chassis(tokens[1])
+            continue
+        if chassis is None:
+            raise PcieParseError(lineno, raw, "first line must be 'machine'")
+
+        try:
+            if kw == "rc":
+                chassis.add_interconnect(tokens[1], NodeKind.ROOT_COMPLEX)
+            elif kw == "switch":
+                chassis.add_interconnect(tokens[1], NodeKind.SWITCH)
+            elif kw == "link":
+                _parse_link(chassis, tokens, lineno, raw)
+            elif kw == "mem":
+                if len(tokens) != 4:
+                    raise PcieParseError(
+                        lineno, raw, "mem needs: name attach size"
+                    )
+                size = _parse_size(tokens[3], lineno, raw)
+                from repro.hardware.specs import CPU_MEM_BW
+
+                chassis.add_memory(tokens[1], tokens[2], size, CPU_MEM_BW)
+            elif kw == "slots":
+                _parse_slots(chassis, tokens, lineno, raw)
+            else:
+                raise PcieParseError(lineno, raw, f"unknown keyword {kw!r}")
+        except PcieParseError:
+            raise
+        except (ValueError, IndexError, KeyError) as err:
+            raise PcieParseError(lineno, raw, str(err)) from err
+
+    if chassis is None:
+        raise PcieParseError(0, "", "empty description (no 'machine' line)")
+    chassis.validate()
+    return chassis
+
+
+def _parse_link(chassis: Chassis, tokens: List[str], lineno: int, raw: str):
+    if len(tokens) < 4:
+        raise PcieParseError(lineno, raw, "link needs: a b kind [width] [label]")
+    a, b, kind_token = tokens[1], tokens[2], tokens[3].lower()
+    label = ""
+    if kind_token == "qpi":
+        chassis.add_trunk(a, b, QPI_BW, LinkKind.QPI, tokens[4] if len(tokens) > 4 else "qpi")
+        return
+    if kind_token == "nvlink":
+        chassis.add_trunk(a, b, NVLINK_BW, LinkKind.NVLINK,
+                          tokens[4] if len(tokens) > 4 else "nvlink")
+        return
+    m = re.match(r"^pcie(\d)$", kind_token)
+    if not m:
+        raise PcieParseError(lineno, raw, f"unknown link kind {kind_token!r}")
+    gen = int(m.group(1))
+    if len(tokens) < 5:
+        raise PcieParseError(lineno, raw, "pcie link needs a lane width")
+    lanes = _parse_width(tokens[4], lineno, raw)
+    if len(tokens) > 5:
+        label = tokens[5]
+    chassis.add_trunk(a, b, pcie_bw(gen, lanes), LinkKind.PCIE, label)
+
+
+def _parse_slots(chassis: Chassis, tokens: List[str], lineno: int, raw: str):
+    if len(tokens) < 6:
+        raise PcieParseError(
+            lineno, raw, "slots needs: name attach units width kinds [label]"
+        )
+    name, attach = tokens[1], tokens[2]
+    units = int(tokens[3])
+    lanes = _parse_width(tokens[4], lineno, raw)
+    kinds = frozenset(tokens[5].split(","))
+    label = tokens[6] if len(tokens) > 6 else ""
+    chassis.add_slot_group(
+        SlotGroup(name, attach, units, pcie_bw(4, lanes), kinds, label)
+    )
+
+
+def render_chassis(chassis: Chassis) -> str:
+    """Emit a parseable description of a chassis (round-trip support)."""
+    lines = [f"machine {chassis.name}"]
+    for name, kind in chassis.interconnects.items():
+        lines.append(
+            f"{'rc' if kind is NodeKind.ROOT_COMPLEX else 'switch'} {name}"
+        )
+    for t in chassis.trunks:
+        if t.kind is LinkKind.QPI:
+            lines.append(f"link {t.a} {t.b} qpi {t.label}".rstrip())
+        elif t.kind is LinkKind.NVLINK:
+            lines.append(f"link {t.a} {t.b} nvlink {t.label}".rstrip())
+        else:
+            lanes = max(1, round(t.capacity / pcie_bw(4, 1)))
+            lines.append(
+                f"link {t.a} {t.b} pcie4 x{lanes} {t.label}".rstrip()
+            )
+    for mem in chassis.memories:
+        lines.append(
+            f"mem {mem.name} {mem.attach} {mem.capacity_bytes / GiB:.0f}GiB"
+        )
+    for g in chassis.slot_groups:
+        lanes = max(1, round(g.link_bw / pcie_bw(4, 1)))
+        kinds = ",".join(sorted(g.allowed))
+        lines.append(
+            f"slots {g.name} {g.attach} {g.units} x{lanes} {kinds} "
+            f"{g.bus_label}".rstrip()
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,128 @@
+"""Simulated hardware bandwidth profiling (paper Section 3.1).
+
+On the real system Moment "profiles bandwidths of hardware components
+like SSDs, PCIe, and NVLinks, to establish throughput constraints".  We
+cannot touch hardware, so the profiler *measures the simulator*: it
+issues micro-benchmark transfer patterns (single-flow link probes,
+SSD read sweeps over queue depths) against a topology, optionally with
+measurement noise, and emits the per-edge capacity table the max-flow
+model consumes.  This keeps the pipeline shape of the paper intact —
+capacities come from profiling, not from reading the spec sheet —
+and lets tests inject noisy profiles to study prediction robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.topology import Link, Topology, iter_physical_links
+from repro.hardware.specs import SsdSpec
+from repro.simulator.bandwidth import Flow, progressive_fill
+from repro.simulator.iostack import effective_read_bw
+from repro.simulator.routing import Router, link_key
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_fraction, check_nonnegative
+
+
+@dataclass
+class BandwidthProfile:
+    """Measured sustained bandwidths, bytes/s."""
+
+    #: directed physical links, (src, dst) -> bytes/s
+    links: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: per-SSD sustained read at the profiled page size
+    ssd_read: Dict[str, float] = field(default_factory=dict)
+
+    def link_bw(self, src: str, dst: str) -> float:
+        return self.links[(src, dst)]
+
+    def apply(self, topo: Topology) -> Topology:
+        """Return a topology whose link capacities are the *measured*
+        values (profiling-informed model, as the paper builds)."""
+        out = Topology(f"{topo.name}/profiled")
+        for node in topo.nodes:
+            if node.kind.value == "ssd" and node.name in self.ssd_read:
+                from repro.core.topology import Node
+
+                out.add_node(
+                    Node(node.name, node.kind, self.ssd_read[node.name])
+                )
+            else:
+                out.add_node(node)
+        for link in topo.links:
+            measured = self.links.get((link.src, link.dst), link.capacity)
+            out.add_directed_link(
+                Link(link.src, link.dst, measured, link.kind, link.label)
+            )
+        return out
+
+
+class HardwareProfiler:
+    """Micro-benchmarks a topology through the fair-share simulator.
+
+    ``noise`` adds multiplicative Gaussian measurement error (fraction
+    of the true value), reproducing run-to-run profiling variance.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        ssd: Optional[SsdSpec] = None,
+        noise: float = 0.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        check_fraction("noise", max(0.0, min(noise, 1.0)))
+        if noise < 0:
+            raise ValueError("noise must be >= 0")
+        self.topo = topo
+        self.ssd = ssd
+        self.noise = noise
+        self.rng = ensure_rng(seed)
+        self.router = Router(topo)
+
+    def _observe(self, true_value: float) -> float:
+        if self.noise <= 0:
+            return true_value
+        factor = 1.0 + self.noise * float(self.rng.standard_normal())
+        return max(true_value * 0.1, true_value * factor)
+
+    def probe_link(self, src: str, dst: str, probe_bytes: float = 1e9) -> float:
+        """Single-flow saturation probe of one directed link."""
+        check_nonnegative("probe_bytes", probe_bytes)
+        result = progressive_fill(
+            [Flow((link_key(src, dst),), probe_bytes)],
+            {link_key(src, dst): self.topo.link(src, dst).capacity},
+        )
+        rate = probe_bytes / max(result.makespan, 1e-12)
+        return self._observe(rate)
+
+    def probe_ssd(
+        self, page_bytes: int = 4096, queue_depth: int = 1024
+    ) -> Dict[str, float]:
+        """Random-read sweep over every drive at one page/QD point."""
+        if self.ssd is None:
+            return {}
+        bw = effective_read_bw(self.ssd, page_bytes, queue_depth)
+        return {name: self._observe(bw) for name in self.topo.ssds()}
+
+    def profile(self) -> BandwidthProfile:
+        """Full profiling pass: every physical link + every SSD."""
+        profile = BandwidthProfile()
+        for link in self.topo.links:
+            profile.links[(link.src, link.dst)] = self.probe_link(
+                link.src, link.dst
+            )
+        profile.ssd_read = self.probe_ssd()
+        return profile
+
+    def queue_depth_sweep(
+        self, depths: List[int] = (1, 4, 16, 64, 256, 1024)
+    ) -> Dict[int, float]:
+        """Per-drive read bandwidth vs queue depth (the NVMe knee)."""
+        if self.ssd is None:
+            raise ValueError("no SSD spec to sweep")
+        return {
+            qd: self._observe(effective_read_bw(self.ssd, 4096, qd))
+            for qd in depths
+        }

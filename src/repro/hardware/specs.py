@@ -1,0 +1,160 @@
+"""Hardware bandwidth/capacity constants (paper Tables 1/3 and Section 2).
+
+All bandwidths are **bytes per second** and all capacities **bytes**.
+Values are sustained, application-visible numbers (not raw line rates):
+the paper quotes ~20 GiB/s for PCIe 4.0 x16 and ~6 GiB/s per P5510 SSD,
+with 8 SSDs sustaining 48 GiB/s on Machine A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB, GiB, TB
+
+# ----------------------------------------------------------------------
+# Link technologies
+# ----------------------------------------------------------------------
+#: Sustained bandwidth of one PCIe lane, by generation (bytes/s).
+#: Calibrated so an x4 bay sustains a P5510's 6 GB/s (8 SSDs -> the
+#: 48 GB/s aggregate the paper measures on Machine A) and an x16 link
+#: lands near the ~20 GiB/s the paper quotes.
+PCIE_LANE_BW = {
+    3: 0.75 * GB,  # 8 GT/s, 128b/130b encoding, protocol overhead
+    4: 1.50 * GB,  # 16 GT/s
+    5: 3.00 * GB,
+}
+
+
+def pcie_bw(gen: int, lanes: int) -> float:
+    """Sustained bandwidth of a PCIe ``gen`` x``lanes`` link."""
+    if gen not in PCIE_LANE_BW:
+        raise ValueError(f"unsupported PCIe generation {gen}")
+    if lanes not in (1, 2, 4, 8, 16):
+        raise ValueError(f"invalid lane count {lanes}")
+    return PCIE_LANE_BW[gen] * lanes
+
+
+#: PCIe 4.0 x16 — GPU slots and switch uplinks ("Bus 9/11/16").
+PCIE4_X16 = pcie_bw(4, 16)  # 20 GB/s
+#: PCIe 4.0 x4 — NVMe bays.
+PCIE4_X4 = pcie_bw(4, 4)  # 5 GB/s ceiling per bay lane-wise
+#: PCIe 3.0 x16 — Cluster C's GPU links.
+PCIE3_X16 = pcie_bw(3, 16)  # 12 GB/s
+
+#: CPU socket interconnect (QPI/UPI), per direction.
+QPI_BW = 20.0 * GB
+#: Sustained cross-socket PCIe peer-to-peer bandwidth, per direction.
+#: Device-to-device DMA that crosses the socket interconnect is far
+#: slower than the QPI line rate (root-complex P2P forwarding,
+#: IOMMU/NUMA overheads) — the well-known reason GPU<->SSD traffic
+#: should stay on one socket, and a key asymmetry DDAK exploits.
+QPI_P2P_BW = 9.0 * GB
+#: One NVLink 3.0 bridge pair between two A100s (per direction).
+NVLINK_BW = 50.0 * GB
+#: DRAM bandwidth available to device DMA per socket (IIO-limited).
+CPU_MEM_BW = 60.0 * GB
+#: HBM2e bandwidth on an A100 (local cache hits are effectively free).
+GPU_HBM_BW = 1200.0 * GB
+#: 100 Gbps datacenter NIC (Cluster C).
+NIC_100G_BW = 12.5 * GB
+
+
+# ----------------------------------------------------------------------
+# Devices
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU model: memory size, link width, and compute throughput."""
+
+    name: str
+    hbm_bytes: float
+    pcie_gen: int
+    pcie_lanes: int
+    #: Effective dense-math throughput for GNN kernels (FLOP/s).  This is
+    #: deliberately far below peak TF32 numbers: sampled-subgraph GNN
+    #: kernels are memory-bound and irregular.
+    effective_flops: float
+    #: Slot units consumed (A100 PCIe cards are dual-slot).
+    slot_units: int = 2
+
+    @property
+    def link_bw(self) -> float:
+        """The device's own PCIe link bandwidth (bytes/s)."""
+        return pcie_bw(self.pcie_gen, self.pcie_lanes)
+
+
+@dataclass(frozen=True)
+class SsdSpec:
+    """An NVMe SSD model."""
+
+    name: str
+    capacity_bytes: float
+    read_bw: float
+    write_bw: float
+    read_iops: float
+    pcie_gen: int
+    pcie_lanes: int
+    slot_units: int = 1
+
+    @property
+    def link_bw(self) -> float:
+        """The device's own PCIe link bandwidth (bytes/s)."""
+        return pcie_bw(self.pcie_gen, self.pcie_lanes)
+
+
+#: NVIDIA A100 40 GB PCIe (paper's GPU on all machines).
+A100_40GB = GpuSpec(
+    name="A100-40GB-PCIe",
+    hbm_bytes=40 * GiB,
+    pcie_gen=4,
+    pcie_lanes=16,
+    effective_flops=18e12,
+)
+
+#: Intel P5510 3.84 TB (paper's SSD).  6 GB/s sustained read so that
+#: 8 drives reach the 48 GB/s aggregate the paper measures; the 4-KiB
+#: random-read IOPS ceiling is set so page-granular feature fetches can
+#: still approach the rated bandwidth at deep queue depths.
+P5510 = SsdSpec(
+    name="Intel-P5510-3.84TB",
+    capacity_bytes=3.84 * TB,
+    read_bw=6.0 * GB,
+    write_bw=4.0 * GB,
+    read_iops=1.55e6,
+    pcie_gen=4,
+    pcie_lanes=4,
+)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A CPU socket: memory capacity/bandwidth and sampling throughput."""
+
+    name: str
+    mem_bytes: float
+    mem_bw: float
+    threads: int
+    #: CPU-side neighbor-sampling rate (sampled edges/s per thread) —
+    #: used by the DistDGL baseline, which samples on CPUs.
+    sample_edges_per_s_per_thread: float = 0.6e6
+
+
+XEON_GOLD_5320 = CpuSpec(  # Machine A (2 sockets, 768 GB total)
+    name="Xeon-Gold-5320",
+    mem_bytes=384 * GiB,
+    mem_bw=CPU_MEM_BW,
+    threads=52,
+)
+XEON_GOLD_6426Y = CpuSpec(  # Machine B (2 sockets, 512 GB total)
+    name="Xeon-Gold-6426Y",
+    mem_bytes=256 * GiB,
+    mem_bw=CPU_MEM_BW,
+    threads=32,
+)
+XEON_SILVER_4214 = CpuSpec(  # Cluster C nodes (2 sockets, 256 GB total)
+    name="Xeon-Silver-4214",
+    mem_bytes=128 * GiB,
+    mem_bw=50.0 * GB,
+    threads=24,
+)

@@ -1,0 +1,30 @@
+"""System runtime: the Moment trainer, shared system machinery, and the
+adaptive-placement extension (paper Section 5)."""
+
+from repro.runtime.system import (
+    GnnSystem,
+    MomentSystem,
+    SystemResult,
+    gpu_memory_budget,
+)
+from repro.runtime.adaptive import (
+    AdaptivePlacementManager,
+    AdaptiveRunResult,
+    DriftingWorkload,
+    MigrationEvent,
+    OnlineHotnessTracker,
+    simulate_adaptive,
+)
+
+__all__ = [
+    "GnnSystem",
+    "MomentSystem",
+    "SystemResult",
+    "gpu_memory_budget",
+    "AdaptivePlacementManager",
+    "AdaptiveRunResult",
+    "DriftingWorkload",
+    "MigrationEvent",
+    "OnlineHotnessTracker",
+    "simulate_adaptive",
+]

@@ -1,0 +1,325 @@
+"""End-to-end system runners: Moment and the shared machinery baselines
+reuse (memory budgeting, placement, epoch simulation).
+
+A :class:`GnnSystem` owns the full recipe of one trainable system on a
+single machine: how it budgets GPU/CPU memory (paper-scale, so the OOM
+verdicts match the paper's), how it places data (DDAK vs hash), whether
+its I/O stack shares drives or binds them per GPU, and which hardware
+placement it runs on.  :meth:`GnnSystem.run` returns a
+:class:`SystemResult` — either a simulated epoch or a recorded OOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ddak import DataPlacement, ddak_place, hash_place, make_bins
+from repro.core.optimizer import (
+    CapacityPlan,
+    MomentOptimizer,
+    MomentPlan,
+    OptimizerConfig,
+    capacity_plan,
+)
+from repro.core.placement import Placement
+from repro.core.topology import Topology
+from repro.graphs.datasets import ScaledDataset
+from repro.hardware.machines import MachineSpec
+from repro.simulator.binding import static_ssd_binding
+from repro.simulator.iostack import IoStackConfig
+from repro.simulator.memory import (
+    MemoryLedger,
+    OutOfMemoryError,
+    activation_bytes,
+    bam_page_cache_metadata_bytes,
+    io_buffer_bytes,
+)
+from repro.simulator.pipeline import EpochResult, EpochSimulator, SimConfig
+from repro.utils.rng import SeedLike
+from repro.utils.units import GiB
+
+
+@dataclass
+class SystemResult:
+    """Outcome of running one system configuration."""
+
+    system: str
+    machine: str
+    dataset: str
+    model: str
+    num_gpus: int
+    epoch: Optional[EpochResult] = None
+    oom: Optional[str] = None
+    plan: Optional[MomentPlan] = None
+    placement: Optional[Placement] = None
+    data_placement: Optional[DataPlacement] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run produced an epoch (no OOM)."""
+        return self.epoch is not None
+
+    @property
+    def paper_epoch_seconds(self) -> float:
+        """Paper-frame epoch time (NaN if the system OOMed)."""
+        if not self.ok:
+            return float("nan")
+        return self.epoch.paper_epoch_seconds
+
+    @property
+    def seeds_per_s(self) -> float:
+        """Trained seed vertices per second (0 if OOMed)."""
+        if not self.ok:
+            return 0.0
+        return self.epoch.seeds_per_s
+
+    def __repr__(self) -> str:
+        if self.oom:
+            tail = f"OOM: {self.oom.splitlines()[0]}"
+        else:
+            tail = f"epoch={self.paper_epoch_seconds:.2f}s (paper scale)"
+        return (
+            f"SystemResult({self.system} on {self.machine}/{self.dataset}/"
+            f"{self.model} x{self.num_gpus}gpu: {tail})"
+        )
+
+
+def gpu_memory_budget(
+    machine: MachineSpec,
+    dataset: ScaledDataset,
+    model_name: str,
+    num_gpus: int,
+    io: IoStackConfig,
+    extra: Optional[Dict[str, float]] = None,
+) -> MemoryLedger:
+    """Paper-scale HBM ledger for one GPU of a training system.
+
+    Reserves model+optimizer state, activations for a paper-scale batch,
+    pinned I/O buffers, and any system-specific ``extra`` entries (e.g.
+    M-GIDS's page-cache metadata).  What remains is available as an
+    embedding cache.  Raises :class:`OutOfMemoryError` when the fixed
+    reservations alone exceed HBM.
+    """
+    spec = dataset.spec
+    ledger = MemoryLedger(f"{machine.gpu.name}", machine.gpu.hbm_bytes)
+    hidden = 256 if model_name == "graphsage" else 64 * 8
+    # ~1.6M unique vertices per paper-scale batch (8000 seeds, [25,10])
+    batch_nodes = int(spec.batch_size * 200)
+    ledger.reserve("model+optimizer", 64e6)
+    ledger.reserve(
+        "activations", activation_bytes(batch_nodes, hidden, num_layers=2)
+    )
+    ledger.reserve(
+        "io_buffers",
+        io_buffer_bytes(io.num_queue_pairs, io.queue_depth, io.page_bytes),
+    )
+    for label, nbytes in (extra or {}).items():
+        ledger.reserve(label, nbytes)
+    return ledger
+
+
+class GnnSystem:
+    """Base recipe for a single-machine multi-GPU out-of-core system.
+
+    Subclasses override the class attributes / hooks:
+
+    * :attr:`name` — report label;
+    * :attr:`shares_ssds` — False installs a static per-GPU drive
+      binding (M-GIDS/M-Hyperion);
+    * :meth:`extra_gpu_reservations` — per-GPU HBM costs beyond the
+      common ones (page-cache metadata, ...);
+    * :meth:`place_data` — DDAK (Moment) or hash (baselines).
+    """
+
+    name = "base"
+    shares_ssds = True
+    #: External-read multiplier (no cross-hop dedup, page over-fetch).
+    io_amplification = 1.0
+    #: Fraction of the HBM cache budget the system uses *effectively*
+    #: (dynamic page caches thrash relative to an optimal hot set).
+    gpu_cache_efficiency = 1.0
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        gpu_cache_fraction: float = 0.6,
+        cpu_cache_vertex_fraction: float = 0.01,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.machine = machine
+        self.gpu_cache_fraction = gpu_cache_fraction
+        self.cpu_cache_vertex_fraction = cpu_cache_vertex_fraction
+        self.seed = seed
+
+    # -- hooks -----------------------------------------------------------
+    def extra_gpu_reservations(
+        self, dataset: ScaledDataset, num_gpus: int
+    ) -> Dict[str, float]:
+        """System-specific per-GPU HBM costs (label -> bytes)."""
+        return {}
+
+    def place_data(
+        self,
+        topo: Topology,
+        dataset: ScaledDataset,
+        hotness: np.ndarray,
+        plan: CapacityPlan,
+        traffic: Optional[Dict[str, float]] = None,
+    ) -> DataPlacement:
+        """Produce the vertex-to-bin data placement for this system."""
+        raise NotImplementedError
+
+    def choose_placement(
+        self,
+        dataset: ScaledDataset,
+        placement: Optional[Placement],
+        num_gpus: int,
+        num_ssds: int,
+        nvlink_pairs,
+    ) -> Tuple[Placement, Optional[MomentPlan]]:
+        """Pick the hardware placement (and optional MomentPlan)."""
+        if placement is None:
+            raise ValueError(f"{self.name} requires an explicit placement")
+        return placement, None
+
+    # -- main entry point --------------------------------------------------
+    def run(
+        self,
+        dataset: ScaledDataset,
+        placement: Optional[Placement] = None,
+        model: str = "graphsage",
+        num_gpus: int = 4,
+        num_ssds: int = 8,
+        fanouts: Tuple[int, ...] = (25, 10),
+        sample_batches: int = 10,
+        nvlink_pairs: Optional[Sequence[Tuple[int, int]]] = None,
+        hotness: Optional[np.ndarray] = None,
+    ) -> SystemResult:
+        """Budget memory, place data, and simulate one epoch."""
+        io = IoStackConfig()
+        result = SystemResult(
+            system=self.name,
+            machine=self.machine.name,
+            dataset=dataset.spec.key,
+            model=model,
+            num_gpus=num_gpus,
+        )
+        try:
+            extra = self.extra_gpu_reservations(dataset, num_gpus)
+            ledger = gpu_memory_budget(
+                self.machine, dataset, model, num_gpus, io, extra
+            )
+            cache_bytes = (
+                ledger.free_bytes
+                * self.gpu_cache_fraction
+                * self.gpu_cache_efficiency
+            )
+            if cache_bytes <= 0:
+                raise OutOfMemoryError(
+                    f"{self.name}: no HBM left for an embedding cache\n"
+                    + ledger.report()
+                )
+        except OutOfMemoryError as err:
+            result.oom = str(err)
+            return result
+
+        chosen, plan = self.choose_placement(
+            dataset, placement, num_gpus, num_ssds, nvlink_pairs
+        )
+        topo = self.machine.build(chosen, nvlink_pairs=nvlink_pairs)
+
+        cap_plan = capacity_plan(
+            self.machine,
+            dataset,
+            gpu_cache_fraction=1.0,  # replaced below with the ledger value
+            cpu_cache_vertex_fraction=self.cpu_cache_vertex_fraction,
+        )
+        cap_plan = CapacityPlan(
+            gpu_cache_bytes=dataset.scaled_capacity(cache_bytes),
+            cpu_cache_bytes=cap_plan.cpu_cache_bytes,
+            ssd_capacity_bytes=cap_plan.ssd_capacity_bytes,
+        )
+
+        if hotness is None:
+            if plan is not None:
+                hotness = plan.hotness
+            else:
+                hotness = MomentOptimizer(
+                    self.machine, num_gpus, num_ssds,
+                    OptimizerConfig(fanouts=fanouts, seed=self.seed),
+                ).estimate_hotness(dataset)
+
+        traffic = plan.prediction.storage_rate if plan is not None else None
+        data_placement = self.place_data(
+            topo, dataset, hotness, cap_plan, traffic
+        )
+
+        binding = None
+        if not self.shares_ssds:
+            binding = static_ssd_binding(topo)
+
+        sim = EpochSimulator(
+            topo,
+            self.machine,
+            dataset,
+            data_placement,
+            SimConfig(
+                fanouts=tuple(fanouts),
+                model_name=model,
+                sample_batches=sample_batches,
+                io=io,
+                io_amplification=self.io_amplification,
+                seed=self.seed,
+            ),
+            ssd_binding=binding,
+        )
+        result.epoch = sim.run_epoch()
+        result.plan = plan
+        result.placement = chosen
+        result.data_placement = data_placement
+        return result
+
+
+class MomentSystem(GnnSystem):
+    """The paper's system: optimizer-chosen placement + DDAK."""
+
+    name = "moment"
+    shares_ssds = True
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        optimizer_config: Optional[OptimizerConfig] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(machine, **kwargs)
+        self.optimizer_config = optimizer_config
+
+    def choose_placement(
+        self, dataset, placement, num_gpus, num_ssds, nvlink_pairs
+    ):
+        """Pick the hardware placement (and optional MomentPlan)."""
+        cfg = self.optimizer_config or OptimizerConfig(
+            gpu_cache_fraction=self.gpu_cache_fraction,
+            cpu_cache_vertex_fraction=self.cpu_cache_vertex_fraction,
+            nvlink_pairs=tuple(nvlink_pairs) if nvlink_pairs else None,
+            seed=self.seed,
+        )
+        optimizer = MomentOptimizer(self.machine, num_gpus, num_ssds, cfg)
+        candidates = [placement] if placement is not None else None
+        plan = optimizer.optimize(dataset, candidates=candidates)
+        return plan.placement, plan
+
+    def place_data(self, topo, dataset, hotness, plan, traffic=None):
+        """Produce the vertex-to-bin data placement for this system."""
+        bins = make_bins(
+            topo,
+            gpu_cache_bytes=plan.gpu_cache_bytes,
+            cpu_cache_bytes=plan.cpu_cache_bytes,
+            ssd_capacity_bytes=plan.ssd_capacity_bytes,
+            traffic=traffic,
+        )
+        return ddak_place(bins, hotness, dataset.feature_bytes)

@@ -1,0 +1,28 @@
+"""Graph sampling substrate: k-hop neighbour sampling, batching,
+hotness estimation."""
+
+from repro.sampling.neighbor import (
+    MiniBatchSample,
+    SampledLayer,
+    sample_batch,
+    sample_neighbors,
+)
+from repro.sampling.batching import iter_seed_batches, num_batches, take_batches
+from repro.sampling.hotness import (
+    degree_proxy_hotness,
+    hotness_coverage,
+    presample_hotness,
+)
+
+__all__ = [
+    "MiniBatchSample",
+    "SampledLayer",
+    "sample_batch",
+    "sample_neighbors",
+    "iter_seed_batches",
+    "num_batches",
+    "take_batches",
+    "degree_proxy_hotness",
+    "hotness_coverage",
+    "presample_hotness",
+]

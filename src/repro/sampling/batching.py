@@ -1,0 +1,60 @@
+"""Seed-batch iteration for mini-batch training."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def iter_seed_batches(
+    train_ids: np.ndarray,
+    batch_size: int,
+    shuffle: bool = True,
+    seed: SeedLike = None,
+    drop_last: bool = False,
+) -> Iterator[np.ndarray]:
+    """Yield seed mini-batches over one epoch.
+
+    ``drop_last`` discards a trailing partial batch (DDP-style when
+    every rank must step in lock-step).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    ids = np.asarray(train_ids, dtype=np.int64)
+    if shuffle:
+        ids = ids.copy()
+        ensure_rng(seed).shuffle(ids)
+    n_full = ids.size // batch_size
+    end = n_full * batch_size if drop_last else ids.size
+    for start in range(0, end, batch_size):
+        yield ids[start : start + batch_size]
+
+
+def num_batches(num_train: int, batch_size: int, drop_last: bool = False) -> int:
+    """Batches per epoch for a training-set size."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if drop_last:
+        return num_train // batch_size
+    return int(np.ceil(num_train / batch_size))
+
+
+def take_batches(
+    train_ids: np.ndarray,
+    batch_size: int,
+    k: int,
+    seed: SeedLike = None,
+) -> List[np.ndarray]:
+    """Up to ``k`` shuffled batches — the simulator samples a batch
+    subset and extrapolates per-epoch quantities from it."""
+    out: List[np.ndarray] = []
+    for i, batch in enumerate(
+        iter_seed_batches(train_ids, batch_size, shuffle=True, seed=seed)
+    ):
+        if i >= k:
+            break
+        out.append(batch)
+    return out

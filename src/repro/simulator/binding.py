@@ -1,0 +1,113 @@
+"""Static GPU-to-SSD binding (the M-GIDS/M-Hyperion convention).
+
+The paper's baselines do not support multiple GPUs sharing one drive:
+"since GIDS does not support shared access to a single SSD by multiple
+GPUs, we allocated a fixed number of SSDs to each GPU" (Section 4.1) —
+with 8 SSDs, 4 SSDs per GPU at 2 GPUs and 2 per GPU at 4 GPUs.  Each
+GPU's working set is striped across its bound drives only.
+
+Drive assignment follows locality, mirroring how such systems are
+actually deployed (and the paper's Section 4.6 explanation of placement
+(d)'s negative scaling — "slot limits on PCIe Switch 0 restrict each
+GPU to one SSD"):
+
+1. drives on the GPU's own switch/root port are split disjointly among
+   the GPUs there — and if any exist, the GPU binds *only* those;
+2. otherwise, drives reachable without crossing QPI;
+3. otherwise, any remaining drives.
+
+Bindings are disjoint (no drive serves two GPUs) and each GPU gets at
+most ``num_ssds // num_gpus`` drives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.topology import LinkKind, NodeKind, Topology
+
+
+def _attach_node(topo: Topology, device: str) -> str:
+    """The interconnect node a device hangs off."""
+    for succ in topo.successors(device):
+        if topo.node(succ).kind.is_interconnect:
+            return succ
+    raise ValueError(f"device {device!r} has no interconnect attachment")
+
+
+def _crosses_qpi(topo: Topology, ssd: str, gpu: str) -> bool:
+    path = topo.shortest_path(ssd, gpu)
+    if path is None:
+        return True
+    for link in topo.path_links(path):
+        if link.kind is LinkKind.QPI:
+            return True
+    return False
+
+
+def static_ssd_binding(
+    topo: Topology,
+    drives_per_gpu: Optional[int] = None,
+) -> Dict[str, List[str]]:
+    """Compute a disjoint, locality-first GPU->SSD binding.
+
+    ``drives_per_gpu`` defaults to ``num_ssds // num_gpus`` (the paper's
+    M-GIDS rule).  Raises if any GPU would end up with zero drives.
+    """
+    gpus = topo.gpus()
+    ssds = topo.ssds()
+    if not gpus or not ssds:
+        raise ValueError("binding needs at least one GPU and one SSD")
+    k = drives_per_gpu if drives_per_gpu is not None else max(
+        1, len(ssds) // len(gpus)
+    )
+    if k < 1:
+        raise ValueError("drives_per_gpu must be >= 1")
+
+    free = set(ssds)
+    binding: Dict[str, List[str]] = {g: [] for g in gpus}
+
+    def allocate(pool_of_gpu, gpus_subset) -> None:
+        """Deal each GPU's candidate pool round-robin, disjointly."""
+        # GPUs sharing identical pools split them evenly: iterate in
+        # rounds so no GPU grabs a whole shared pool first.
+        progress = True
+        while progress:
+            progress = False
+            for gpu in gpus_subset:
+                if len(binding[gpu]) >= k:
+                    continue
+                for drive in pool_of_gpu[gpu]:
+                    if drive in free:
+                        binding[gpu].append(drive)
+                        free.discard(drive)
+                        progress = True
+                        break
+
+    # Tier 1: same-attach drives; GPUs with any local drive stop here.
+    local_pool = {
+        g: [s for s in ssds if _attach_node(topo, s) == _attach_node(topo, g)]
+        for g in gpus
+    }
+    tier1_gpus = [g for g in gpus if local_pool[g]]
+    allocate(local_pool, tier1_gpus)
+    satisfied = {g for g in tier1_gpus if binding[g]}
+
+    # Tier 2: no-QPI drives for the rest.
+    rest = [g for g in gpus if g not in satisfied]
+    noqpi_pool = {
+        g: [s for s in ssds if s in free and not _crosses_qpi(topo, s, g)]
+        for g in rest
+    }
+    allocate(noqpi_pool, rest)
+    satisfied |= {g for g in rest if binding[g]}
+
+    # Tier 3: anything left for still-empty GPUs.
+    rest = [g for g in gpus if g not in satisfied]
+    any_pool = {g: [s for s in ssds if s in free] for g in rest}
+    allocate(any_pool, rest)
+
+    empty = [g for g, drives in binding.items() if not drives]
+    if empty:
+        raise ValueError(f"no drives available for GPUs {empty}")
+    return binding

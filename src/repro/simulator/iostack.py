@@ -1,0 +1,124 @@
+"""Multi-GPU GPU-initiated NVMe I/O stack model (paper Section 3.1).
+
+Moment extends Hyperion's single-GPU stack: each GPU owns NVMe
+submission/completion queue pairs and issues page-granular reads
+directly to SSDs, with the drive DMA-ing data into GPU application
+buffers.  For the epoch simulator the relevant behaviour is the
+*attainable read bandwidth per drive* as a function of request size and
+aggregate queue depth — a small-page random-read workload is IOPS-bound
+before it is bandwidth-bound — plus the (tiny) GPU-side cost of driving
+the queues (the paper reports ~1% of GPU cores).
+
+:class:`GpuIoQueues` also provides an explicit queue-occupancy model
+used by tests and the I/O micro-benchmarks: submissions beyond the
+queue capacity must wait for completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hardware.specs import SsdSpec
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class IoStackConfig:
+    """Per-GPU I/O stack parameters (BaM-style defaults)."""
+
+    num_queue_pairs: int = 128
+    queue_depth: int = 1024
+    page_bytes: int = 4096
+    #: Per-request GPU-side bookkeeping (doorbell write, poll slot).
+    submit_overhead_s: float = 150e-9
+    #: Fraction of one GPU's SMs consumed by the I/O threads.
+    gpu_core_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive("num_queue_pairs", self.num_queue_pairs)
+        check_positive("queue_depth", self.queue_depth)
+        check_positive("page_bytes", self.page_bytes)
+
+    @property
+    def max_outstanding(self) -> int:
+        """Ring capacity: queue pairs times queue depth."""
+        return self.num_queue_pairs * self.queue_depth
+
+
+def effective_read_bw(
+    ssd: SsdSpec, page_bytes: int, queue_depth: int = 1024
+) -> float:
+    """Attainable sequential-equivalent read bandwidth of one drive.
+
+    ``min(bandwidth, IOPS * page)`` with a saturation factor for shallow
+    queues (NVMe drives need concurrency to reach rated IOPS; we model
+    the standard closed-queue knee ``qd / (qd + qd_half)``).
+    """
+    check_positive("page_bytes", page_bytes)
+    check_positive("queue_depth", queue_depth)
+    qd_half = 64.0  # queue depth at which half of rated IOPS is reached
+    saturation = queue_depth / (queue_depth + qd_half)
+    iops_bound = ssd.read_iops * page_bytes * saturation
+    return min(ssd.read_bw, iops_bound)
+
+
+class GpuIoQueues:
+    """Explicit SQ/CQ occupancy bookkeeping for one GPU.
+
+    Tracks outstanding requests; :meth:`submit` returns the queueing
+    delay incurred when the rings are full (completions must drain
+    first, at the drive's command rate).
+    """
+
+    def __init__(self, config: IoStackConfig, drives: List[SsdSpec]) -> None:
+        if not drives:
+            raise ValueError("need at least one drive")
+        self.config = config
+        self.drives = list(drives)
+        self.outstanding = 0
+        self.total_submitted = 0
+        self.total_stall_s = 0.0
+
+    @property
+    def aggregate_iops(self) -> float:
+        """Summed rated IOPS of the GPU's drives."""
+        return sum(d.read_iops for d in self.drives)
+
+    def submit(self, num_requests: int) -> float:
+        """Submit a burst; returns stall seconds spent waiting for room."""
+        if num_requests < 0:
+            raise ValueError("num_requests must be >= 0")
+        self.total_submitted += num_requests
+        room = self.config.max_outstanding - self.outstanding
+        overflow = max(0, num_requests - room)
+        stall = overflow / self.aggregate_iops if overflow else 0.0
+        self.total_stall_s += stall
+        self.outstanding = min(
+            self.config.max_outstanding, self.outstanding + num_requests
+        )
+        return stall
+
+    def complete(self, num_requests: int) -> None:
+        """Retire finished requests from the rings."""
+        if num_requests < 0:
+            raise ValueError("num_requests must be >= 0")
+        self.outstanding = max(0, self.outstanding - num_requests)
+
+    def drain(self) -> None:
+        """Clear all outstanding requests (epoch boundary)."""
+        self.outstanding = 0
+
+    def submit_cost_s(self, num_requests: int) -> float:
+        """GPU-side cost of issuing a burst (doorbells + polling)."""
+        return num_requests * self.config.submit_overhead_s / max(
+            1, self.config.num_queue_pairs
+        )
+
+
+def pages_for_bytes(nbytes: float, page_bytes: int) -> int:
+    """Number of page requests needed for a transfer."""
+    check_positive("page_bytes", page_bytes)
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    return int(-(-nbytes // page_bytes))  # ceil-div

@@ -1,0 +1,119 @@
+"""Memory-footprint accounting and out-of-memory detection.
+
+The paper's baselines fail in specific, reported ways:
+
+* **M-GIDS** "runs out of GPU memory on UK and CL due to the
+  requirement of its page cache (based on BaM) metadata" — BaM keeps
+  per-page state for the whole backing store, so metadata grows with
+  *dataset* size, not cache size;
+* **DistDGL** "runs out of CPU memory on IGB, UK and CL, as it
+  allocates about 5x memory of the original dataset size".
+
+:class:`MemoryLedger` records named reservations against a budget and
+raises :class:`OutOfMemoryError` on overflow, so those failures are
+mechanical outcomes rather than hard-coded verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.utils.units import fmt_bytes
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+class OutOfMemoryError(RuntimeError):
+    """A reservation exceeded the device's memory budget."""
+
+
+@dataclass
+class MemoryLedger:
+    """Named byte reservations against a fixed budget."""
+
+    name: str
+    budget_bytes: float
+    entries: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive("budget_bytes", self.budget_bytes)
+
+    @property
+    def used_bytes(self) -> float:
+        """Sum of all reservations."""
+        return sum(self.entries.values())
+
+    @property
+    def free_bytes(self) -> float:
+        """Budget remaining after all reservations."""
+        return self.budget_bytes - self.used_bytes
+
+    def reserve(self, label: str, nbytes: float) -> None:
+        """Add a reservation; raises :class:`OutOfMemoryError` on overflow."""
+        check_nonnegative(f"reservation {label!r}", nbytes)
+        if label in self.entries:
+            raise ValueError(f"duplicate reservation {label!r} on {self.name}")
+        if self.used_bytes + nbytes > self.budget_bytes:
+            raise OutOfMemoryError(
+                f"{self.name}: reserving {fmt_bytes(nbytes)} for {label!r} "
+                f"exceeds budget ({fmt_bytes(self.used_bytes)} used of "
+                f"{fmt_bytes(self.budget_bytes)})"
+            )
+        self.entries[label] = nbytes
+
+    def try_reserve(self, label: str, nbytes: float) -> bool:
+        """Reserve if possible; returns False instead of raising."""
+        try:
+            self.reserve(label, nbytes)
+            return True
+        except OutOfMemoryError:
+            return False
+
+    def release(self, label: str) -> None:
+        """Drop a reservation by label (raises ``KeyError``)."""
+        del self.entries[label]
+
+    def report(self) -> str:
+        """Human-readable reservation breakdown."""
+        lines = [f"{self.name}: {fmt_bytes(self.used_bytes)} / "
+                 f"{fmt_bytes(self.budget_bytes)}"]
+        for label, nbytes in sorted(self.entries.items()):
+            lines.append(f"  {label}: {fmt_bytes(nbytes)}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Footprint formulas used by the systems
+# ----------------------------------------------------------------------
+def activation_bytes(
+    num_nodes: int, hidden_dim: int, num_layers: int, fp_bytes: int = 4
+) -> float:
+    """Forward+backward activation storage for one sampled batch."""
+    check_nonnegative("num_nodes", num_nodes)
+    # activations kept for backward on every layer, x2 for gradients
+    return 2.0 * num_nodes * hidden_dim * num_layers * fp_bytes
+
+
+def io_buffer_bytes(queue_pairs: int, queue_depth: int, page_bytes: int) -> float:
+    """Pinned application buffers backing in-flight NVMe requests."""
+    return float(queue_pairs) * queue_depth * page_bytes
+
+
+def bam_page_cache_metadata_bytes(
+    backing_store_bytes: float, page_bytes: int = 4096, per_page_state: int = 64
+) -> float:
+    """BaM-style page-cache metadata: per-page state (state word, lock,
+    reverse mapping, hash-table slots) for the *entire* backing store
+    must sit in GPU memory — the mechanism behind M-GIDS's OOM on UK
+    and CL (3.2/4.1 TB of features -> >40 GB of metadata)."""
+    check_nonnegative("backing_store_bytes", backing_store_bytes)
+    num_pages = backing_store_bytes / page_bytes
+    return num_pages * per_page_state
+
+
+def distdgl_partition_bytes(dataset_bytes: float, num_machines: int,
+                            expansion: float = 5.0) -> float:
+    """Per-machine CPU footprint of a DistDGL partition (paper: ~5x the
+    raw partition size, from halo vertices, ID maps, and kvstore)."""
+    check_positive("num_machines", num_machines)
+    return dataset_bytes / num_machines * expansion

@@ -1,0 +1,72 @@
+"""Per-link traffic accounting (Figure 17's QPI-traffic comparison).
+
+The fair-share simulator reports bytes per resource key; this module
+aggregates them into human-meaningful counters: per physical link
+(summing both directions), per link kind, and specifically across QPI —
+the metric the paper uses to show DDAK relieves socket-interconnect
+pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping
+
+from repro.core.topology import LinkKind, Topology
+
+
+@dataclass
+class TrafficAccount:
+    """Accumulated bytes per resource key over a simulation."""
+
+    topo: Topology
+    by_resource: Dict[Hashable, float] = field(default_factory=dict)
+
+    def add(self, resource_bytes: Mapping[Hashable, float]) -> None:
+        """Accumulate per-resource byte counters from one step."""
+        for key, nbytes in resource_bytes.items():
+            self.by_resource[key] = self.by_resource.get(key, 0.0) + nbytes
+
+    def scaled(self, factor: float) -> "TrafficAccount":
+        """A copy with every counter multiplied by ``factor``."""
+        out = TrafficAccount(self.topo)
+        out.by_resource = {k: v * factor for k, v in self.by_resource.items()}
+        return out
+
+    # ------------------------------------------------------------------
+    def link_bytes(self, src: str, dst: str, both_directions: bool = True) -> float:
+        """Bytes over a physical link (default: both directions summed)."""
+        total = self.by_resource.get(("link", src, dst), 0.0)
+        if both_directions:
+            total += self.by_resource.get(("link", dst, src), 0.0)
+        return total
+
+    def bytes_by_kind(self) -> Dict[str, float]:
+        """Total bytes per link technology (pcie/qpi/nvlink/memory)."""
+        out: Dict[str, float] = {}
+        for key, nbytes in self.by_resource.items():
+            if not (isinstance(key, tuple) and key and key[0] == "link"):
+                continue
+            link = self.topo.link(key[1], key[2])
+            out[link.kind.value] = out.get(link.kind.value, 0.0) + nbytes
+        return out
+
+    @property
+    def qpi_bytes(self) -> float:
+        """Total bytes crossing the socket interconnect (both ways)."""
+        return self.bytes_by_kind().get(LinkKind.QPI.value, 0.0)
+
+    @property
+    def nvlink_bytes(self) -> float:
+        """Total bytes carried over NVLink bridges."""
+        return self.bytes_by_kind().get(LinkKind.NVLINK.value, 0.0)
+
+    def busiest_links(self, k: int = 5):
+        """Top-k (src, dst, bytes) directed link counters."""
+        links = [
+            (key[1], key[2], nbytes)
+            for key, nbytes in self.by_resource.items()
+            if isinstance(key, tuple) and key and key[0] == "link"
+        ]
+        links.sort(key=lambda t: -t[2])
+        return links[:k]

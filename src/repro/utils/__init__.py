@@ -1,0 +1,43 @@
+"""Shared utilities: unit constants, RNG helpers, validation, reporting."""
+
+from repro.utils.units import (
+    KiB,
+    MiB,
+    GiB,
+    TiB,
+    KB,
+    MB,
+    GB,
+    TB,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import (
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_fraction,
+)
+from repro.utils.report import Table
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_time",
+    "ensure_rng",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_fraction",
+    "Table",
+]

@@ -1,0 +1,70 @@
+"""Plain-text tabular reporting for benchmark harnesses.
+
+The benchmark scripts print the same rows/series the paper's figures
+report; :class:`Table` renders them with aligned columns so the output is
+diffable between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class Table:
+    """An append-only text table with aligned columns.
+
+    >>> t = Table(["dataset", "epoch (s)"])
+    >>> t.add_row(["IG", 14.9])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("Table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable) -> None:
+        """Append one row (cell count must match the columns)."""
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000 or abs(cell) < 0.01:
+                return f"{cell:.3g}"
+            return f"{cell:.3f}".rstrip("0").rstrip(".")
+        return str(cell)
+
+    def render(self) -> str:
+        """The table as aligned plain text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells):
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        out = []
+        if self.title:
+            out.append(self.title)
+        out.append(line(self.columns))
+        out.append(line(["-" * w for w in widths]))
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def print(self) -> None:
+        """Print :meth:`render` to stdout."""
+        print(self.render())
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,36 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed,
+an existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).
+``ensure_rng`` normalises all three so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Passing an existing generator returns it unchanged, so a single
+    generator can be threaded through a pipeline for reproducibility.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list:
+    """Derive ``n`` independent child generators from one seed.
+
+    Used when several simulated GPUs each need their own stream that is
+    stable regardless of scheduling order.
+    """
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

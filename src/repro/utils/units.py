@@ -1,0 +1,48 @@
+"""Byte/rate unit constants and human-readable formatting.
+
+All bandwidths inside the library are expressed in **bytes per second**
+and all sizes in **bytes**, so these constants are the only place where
+decimal vs. binary prefixes matter.
+"""
+
+from __future__ import annotations
+
+# Binary (IEC) prefixes -- used for memory and storage capacities.
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# Decimal (SI) prefixes -- used for link bandwidths, as vendors do.
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+TB = 1000 * GB
+
+_BIN_STEPS = [(TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")]
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary prefix, e.g. ``fmt_bytes(2*GiB)``."""
+    if n < 0:
+        return "-" + fmt_bytes(-n)
+    for step, suffix in _BIN_STEPS:
+        if n >= step:
+            return f"{n / step:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Format a bandwidth in GB/s (decimal), the unit the paper reports."""
+    return f"{bytes_per_s / GB:.2f} GB/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit (us/ms/s)."""
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.2f} us"

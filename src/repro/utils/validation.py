@@ -1,0 +1,35 @@
+"""Small argument-validation helpers used across the library.
+
+These raise ``ValueError`` with the offending parameter name so errors
+surface at the public-API boundary rather than deep inside a simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0`` (and finite)."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value)) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0`` (and finite)."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value)) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Require ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require a proportion in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)

@@ -1,0 +1,157 @@
+"""Tests for online profiling and adaptive data placement."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.ddak import Bin, TIER_CPU, TIER_GPU, TIER_SSD, ddak_place, make_bins
+from repro.core.optimizer import MomentOptimizer, capacity_plan
+from repro.graphs.datasets import IGB_HOM, tiny_dataset
+from repro.graphs.generators import community_graph, degree_gini
+from repro.hardware.machines import machine_a
+from repro.runtime.adaptive import (
+    AdaptivePlacementManager,
+    DriftingWorkload,
+    OnlineHotnessTracker,
+    simulate_adaptive,
+)
+from repro.simulator.pipeline import SimConfig
+
+
+class TestTracker:
+    def test_observe_and_decay(self):
+        t = OnlineHotnessTracker(10, decay=0.5)
+        t.observe_batch(np.array([1, 2, 3]))
+        t.observe_batch(np.array([1]))
+        assert t.counts[1] == 2.0
+        t.end_epoch()
+        assert t.counts[1] == 1.0
+        assert t.hotness[0] > 0  # floor keeps cold vertices ranked
+
+    def test_weighted_observation(self):
+        t = OnlineHotnessTracker(4, decay=1.0)
+        t.observe_batch(np.array([0]), weight=8.0)
+        assert t.counts[0] == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineHotnessTracker(0)
+        with pytest.raises(ValueError):
+            OnlineHotnessTracker(4, decay=1.5)
+
+
+class TestManager:
+    def bins(self):
+        return [
+            Bin("gpu:all", TIER_GPU, 50 * 100, 1e12),
+            Bin("mem0", TIER_CPU, 50 * 100, 50e9),
+            Bin("ssd0", TIER_SSD, 10_000 * 100, 6e9),
+        ]
+
+    def test_trigger_logic(self):
+        m = AdaptivePlacementManager(self.bins(), feature_bytes=100)
+        assert not m.should_replace(0.6)  # establishes watermark
+        assert not m.should_replace(0.55)  # within tolerance
+        assert m.should_replace(0.4)  # decayed
+
+    def test_replace_moves_data_and_charges_cost(self):
+        # pool must fit the cache bins (50 slots), else DDAK's hard
+        # tier ordering skips them — use a fine pool here
+        m = AdaptivePlacementManager(self.bins(), feature_bytes=100,
+                                     pool_size=10)
+        rng = np.random.default_rng(0)
+        h1 = rng.random(500)
+        p1 = ddak_place(self.bins(), h1, 100, pool_size=10)
+        h2 = np.roll(h1, 250)  # the hot set moved
+        p2, event = m.replace(1, p1, h2)
+        p2.validate(100)
+        assert event.moved_vertices > 0
+        assert event.seconds > 0
+        assert m.events == [event]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePlacementManager(self.bins(), 100, trigger_ratio=2.0)
+        with pytest.raises(ValueError):
+            AdaptivePlacementManager(self.bins(), 100, migration_bw=0)
+
+
+class TestDriftingWorkload:
+    def test_windows_move(self):
+        ds = tiny_dataset(num_vertices=1000, batch_size=32, seed=0)
+        wl = DriftingWorkload(ds, drift_fraction=0.3, seed=0)
+        ids0 = wl.train_ids(0)
+        ids1 = wl.train_ids(1)
+        assert not np.array_equal(ids0, ids1)
+        assert wl.dataset_at(2).train_ids.size == ids0.size
+
+    def test_zero_drift_is_static(self):
+        ds = tiny_dataset(num_vertices=1000, batch_size=32, seed=0)
+        wl = DriftingWorkload(ds, drift_fraction=0.0, seed=0)
+        assert np.array_equal(wl.train_ids(0), wl.train_ids(5))
+
+
+class TestCommunityGraph:
+    def test_structure(self):
+        g = community_graph(1000, avg_degree=8, num_communities=4, seed=0)
+        assert g.num_vertices == 1000
+        assert g.num_edges > 0
+
+    def test_edges_mostly_within_communities(self):
+        g = community_graph(
+            1000, avg_degree=8, num_communities=4, cross_fraction=0.05, seed=0
+        )
+        src = np.repeat(np.arange(1000), np.diff(g.indptr))
+        same = (src // 250) == (g.indices // 250)
+        assert same.mean() > 0.8
+
+    def test_skewed_within_community(self):
+        g = community_graph(2000, avg_degree=10, num_communities=4, seed=0)
+        assert degree_gini(g) > 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            community_graph(100, 5, num_communities=0)
+        with pytest.raises(ValueError):
+            community_graph(100, 5, cross_fraction=2.0)
+
+
+class TestSimulateAdaptive:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        base = IGB_HOM.build(scale=IGB_HOM.default_scale * 60, seed=0)
+        g = community_graph(
+            base.graph.num_vertices, avg_degree=12, num_communities=10, seed=0
+        )
+        ds = dataclasses.replace(base, graph=g)
+        machine = machine_a()
+        opt = MomentOptimizer(machine, 4, 8)
+        wl = DriftingWorkload(ds, drift_fraction=0.05, seed=1)
+        hot0 = opt.estimate_hotness(wl.dataset_at(0))
+        plan = opt.optimize(wl.dataset_at(0), hotness=hot0)
+        cap = capacity_plan(machine, ds)
+        bins = make_bins(
+            plan.topology, cap.gpu_cache_bytes, cap.cpu_cache_bytes,
+            cap.ssd_capacity_bytes, traffic=plan.prediction.storage_rate,
+        )
+        return machine, plan.topology, wl, bins, hot0
+
+    def test_adaptive_not_worse_than_static(self, setup):
+        machine, topo, wl, bins, hot0 = setup
+        res = simulate_adaptive(
+            topo, machine, wl, bins, hot0, num_epochs=5,
+            sim=SimConfig(sample_batches=2),
+        )
+        assert len(res.static_seeds_per_s) == 5
+        assert len(res.adaptive_seeds_per_s) == 5
+        assert res.adaptive_mean >= res.static_mean * 0.97
+
+    def test_drift_degrades_static(self, setup):
+        machine, topo, wl, bins, hot0 = setup
+        res = simulate_adaptive(
+            topo, machine, wl, bins, hot0, num_epochs=5,
+            sim=SimConfig(sample_batches=2),
+        )
+        # the first (matched) epoch should be the static run's best
+        assert res.static_seeds_per_s[0] >= max(res.static_seeds_per_s[2:])

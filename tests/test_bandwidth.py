@@ -1,0 +1,144 @@
+"""Tests for max-min fair sharing and progressive filling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.bandwidth import Flow, max_min_rates, progressive_fill
+
+
+class TestMaxMinRates:
+    def test_single_flow_gets_capacity(self):
+        flows = [Flow(("l",), 100.0)]
+        rates = max_min_rates(flows, {"l": 10.0})
+        assert rates == [10.0]
+
+    def test_equal_sharing(self):
+        flows = [Flow(("l",), 1.0), Flow(("l",), 1.0)]
+        rates = max_min_rates(flows, {"l": 10.0})
+        assert rates == [5.0, 5.0]
+
+    def test_water_filling_classic(self):
+        # Flow A uses links 1+2, B uses 1, C uses 2.
+        # cap1=10 shared A,B; cap2=30 shared A,C.
+        # Fair: link1 bottleneck first -> A=B=5; C gets 30-5=25.
+        flows = [
+            Flow(("l1", "l2"), 1.0),
+            Flow(("l1",), 1.0),
+            Flow(("l2",), 1.0),
+        ]
+        rates = max_min_rates(flows, {"l1": 10.0, "l2": 30.0})
+        assert rates[0] == pytest.approx(5.0)
+        assert rates[1] == pytest.approx(5.0)
+        assert rates[2] == pytest.approx(25.0)
+
+    def test_local_flow_infinite(self):
+        rates = max_min_rates([Flow((), 1.0)], {})
+        assert rates[0] == float("inf")
+
+    def test_unknown_resource(self):
+        with pytest.raises(KeyError):
+            max_min_rates([Flow(("x",), 1.0)], {"l": 1.0})
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            max_min_rates([Flow(("l",), 1.0)], {"l": 0.0})
+
+    def test_inactive_flows_zero(self):
+        flows = [Flow(("l",), 1.0), Flow(("l",), 1.0)]
+        rates = max_min_rates(flows, {"l": 10.0}, active=[0])
+        assert rates == [10.0, 0.0]
+
+    def test_duplicate_resource_in_path_counted_once(self):
+        flows = [Flow(("l", "l"), 1.0)]
+        rates = max_min_rates(flows, {"l": 10.0})
+        assert rates == [10.0]
+
+
+class TestProgressiveFill:
+    def test_single_flow_time(self):
+        res = progressive_fill([Flow(("l",), 100.0)], {"l": 10.0})
+        assert res.makespan == pytest.approx(10.0)
+        assert res.finish_times == [pytest.approx(10.0)]
+        assert res.resource_bytes["l"] == pytest.approx(100.0)
+
+    def test_release_after_completion(self):
+        # Two flows share a 10 B/s link; one needs 10 B, the other 30 B.
+        # Phase 1: both at 5 B/s until t=2 (first finishes).
+        # Phase 2: second at 10 B/s for remaining 20 B -> t=4.
+        flows = [Flow(("l",), 10.0), Flow(("l",), 30.0)]
+        res = progressive_fill(flows, {"l": 10.0})
+        assert res.finish_times[0] == pytest.approx(2.0)
+        assert res.finish_times[1] == pytest.approx(4.0)
+        assert res.makespan == pytest.approx(4.0)
+
+    def test_conservation_of_bytes(self):
+        flows = [Flow(("a", "b"), 50.0), Flow(("b",), 25.0)]
+        res = progressive_fill(flows, {"a": 10.0, "b": 10.0})
+        assert res.resource_bytes["b"] == pytest.approx(75.0)
+        assert res.resource_bytes["a"] == pytest.approx(50.0)
+
+    def test_zero_demand_finishes_instantly(self):
+        res = progressive_fill([Flow(("l",), 0.0)], {"l": 1.0})
+        assert res.makespan == 0.0
+
+    def test_local_flows_instant(self):
+        res = progressive_fill([Flow((), 1e9)], {})
+        assert res.makespan == 0.0
+
+    def test_peak_rates_bounded_by_capacity(self):
+        flows = [Flow(("l",), 10.0) for _ in range(5)]
+        res = progressive_fill(flows, {"l": 7.0})
+        assert res.peak_rates["l"] <= 7.0 + 1e-9
+
+    def test_finish_by_tag(self):
+        flows = [
+            Flow(("l",), 10.0, tag="a"),
+            Flow(("l",), 10.0, tag="a"),
+            Flow(("m",), 1.0, tag="b"),
+        ]
+        res = progressive_fill(flows, {"l": 10.0, "m": 10.0})
+        by_tag = res.finish_by_tag()
+        assert by_tag["a"] == pytest.approx(2.0)
+        assert by_tag["b"] == pytest.approx(0.1)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # path subset selector
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_properties_hold(self, spec):
+        paths = [(), ("a",), ("b",), ("a", "b")]
+        flows = [Flow(paths[i], d) for i, d in spec]
+        caps = {"a": 10.0, "b": 5.0}
+        res = progressive_fill(flows, caps)
+        # 1. every flow finishes
+        assert len(res.finish_times) == len(flows)
+        # 2. bytes through each resource equal sum of demands routed on it
+        for key, cap in caps.items():
+            want = sum(f.demand for f in flows if key in f.path)
+            got = res.resource_bytes.get(key, 0.0)
+            assert got == pytest.approx(want, abs=1e-3)
+        # 3. makespan lower bound: busiest resource's total / capacity
+        lb = max(
+            (
+                sum(f.demand for f in flows if k in f.path) / c
+                for k, c in caps.items()
+            ),
+            default=0.0,
+        )
+        assert res.makespan >= lb - 1e-6
+        # 4. peak rates never exceed capacity
+        for key, rate in res.peak_rates.items():
+            assert rate <= caps[key] + 1e-6
+
+    def test_makespan_matches_serial_bound(self):
+        # All flows on one link: makespan must equal total/capacity
+        flows = [Flow(("l",), d) for d in (5.0, 10.0, 15.0)]
+        res = progressive_fill(flows, {"l": 10.0})
+        assert res.makespan == pytest.approx(3.0)

@@ -1,0 +1,226 @@
+"""Tests for DDAK and hash data placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ddak import (
+    Bin,
+    DataPlacement,
+    TIER_CPU,
+    TIER_GPU,
+    TIER_SSD,
+    ddak_place,
+    hash_place,
+    make_bins,
+)
+from repro.hardware.machines import classic_layouts, machine_a
+
+FB = 100  # feature bytes per vertex in these tests
+
+
+def simple_bins(gpu_cap=10 * FB, cpu_cap=20 * FB, ssd_cap=10_000 * FB):
+    return [
+        Bin("gpu0:mem", TIER_GPU, gpu_cap, traffic=1e12),
+        Bin("gpu1:mem", TIER_GPU, gpu_cap, traffic=1e12),
+        Bin("mem0", TIER_CPU, cpu_cap, traffic=50e9),
+        Bin("ssd0", TIER_SSD, ssd_cap, traffic=6e9),
+        Bin("ssd1", TIER_SSD, ssd_cap, traffic=3e9),
+    ]
+
+
+def zipf_hotness(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    h = (np.arange(1, n + 1) ** -0.9).astype(np.float64)
+    rng.shuffle(h)
+    return h
+
+
+class TestBin:
+    def test_invalid_tier(self):
+        with pytest.raises(ValueError):
+            Bin("x", 7, 10, 1)
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            Bin("x", TIER_SSD, -1, 1)
+
+
+class TestDdakPlace:
+    def test_all_placed_and_capacities_respected(self):
+        bins = simple_bins()
+        h = zipf_hotness()
+        p = ddak_place(bins, h, FB, pool_size=10)
+        p.validate(FB)
+        assert p.method.startswith("ddak")
+
+    def test_hottest_vertices_land_in_gpu(self):
+        bins = simple_bins()
+        h = zipf_hotness()
+        p = ddak_place(bins, h, FB, pool_size=5)
+        hot = np.argsort(-h)[:20]  # 20 hottest; GPU tier holds 20 slots
+        gpu_ids = {p.bin_index("gpu0:mem"), p.bin_index("gpu1:mem")}
+        assert all(int(p.bin_of[v]) in gpu_ids for v in hot)
+
+    def test_hierarchy_gpu_then_cpu_then_ssd(self):
+        bins = simple_bins()
+        h = zipf_hotness()
+        p = ddak_place(bins, h, FB, pool_size=5)
+        order = np.argsort(-h)
+        tiers = np.array([bins[b].tier for b in p.bin_of[order]])
+        # mean tier must be non-decreasing along hotness deciles
+        chunks = np.array_split(tiers, 10)
+        means = [c.mean() for c in chunks]
+        assert all(a <= b + 0.5 for a, b in zip(means, means[1:]))
+
+    def test_ssd_traffic_matching(self):
+        """SSD with 2x traffic target absorbs hotter vertices."""
+        bins = simple_bins()
+        h = zipf_hotness()
+        p = ddak_place(bins, h, FB, pool_size=5)
+        hot0 = h[p.vertices_in("ssd0")].sum()  # 6 GB/s target
+        hot1 = h[p.vertices_in("ssd1")].sum()  # 3 GB/s target
+        assert hot0 > hot1
+        # ratio should approximate the traffic ratio
+        assert hot0 / max(hot1, 1e-12) == pytest.approx(2.0, rel=0.5)
+
+    def test_insufficient_capacity_raises(self):
+        bins = [Bin("ssd0", TIER_SSD, 10 * FB, 1e9)]
+        with pytest.raises(ValueError, match="dataset needs"):
+            ddak_place(bins, zipf_hotness(100), FB)
+
+    def test_pool_size_one_equals_fine_grained(self):
+        bins = simple_bins()
+        h = zipf_hotness(200)
+        p1 = ddak_place(bins, h, FB, pool_size=1)
+        p1.validate(FB)
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            ddak_place(simple_bins(), zipf_hotness(), FB, pool_size=0)
+
+    def test_deterministic(self):
+        bins = simple_bins()
+        h = zipf_hotness()
+        p1 = ddak_place(bins, h, FB, pool_size=10)
+        p2 = ddak_place(bins, h, FB, pool_size=10)
+        assert np.array_equal(p1.bin_of, p2.bin_of)
+
+    def test_tail_fill_when_pool_does_not_fit(self):
+        # capacities not multiples of the pool: tail fill must kick in
+        bins = [
+            Bin("gpu0:mem", TIER_GPU, 7 * FB, 1e12),
+            Bin("ssd0", TIER_SSD, 1000 * FB, 1e9),
+        ]
+        p = ddak_place(bins, zipf_hotness(50), FB, pool_size=10)
+        p.validate(FB)
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_property_valid_placements(self, pool, n):
+        bins = simple_bins()
+        h = zipf_hotness(n)
+        p = ddak_place(bins, h, FB, pool_size=pool)
+        p.validate(FB)
+        assert p.bin_of.size == n
+
+
+class TestHashPlace:
+    def test_hash_ssd_balance(self):
+        bins = simple_bins()
+        h = zipf_hotness(500)
+        p = hash_place(bins, h, FB)
+        n0 = p.vertices_in("ssd0").size
+        n1 = p.vertices_in("ssd1").size
+        # hashed by id: near-uniform regardless of traffic targets
+        assert abs(n0 - n1) <= 0.1 * (n0 + n1)
+
+    def test_caches_hold_hottest(self):
+        bins = simple_bins()
+        h = zipf_hotness(500)
+        p = hash_place(bins, h, FB)
+        hot = np.argsort(-h)[:40]  # GPU (20) + CPU (20) capacity
+        cached = {
+            p.bin_index("gpu0:mem"),
+            p.bin_index("gpu1:mem"),
+            p.bin_index("mem0"),
+        }
+        assert all(int(p.bin_of[v]) in cached for v in hot)
+
+    def test_no_cache_mode(self):
+        bins = simple_bins()
+        p = hash_place(bins, zipf_hotness(500), FB, cache_hot=False)
+        ssd_ids = {p.bin_index("ssd0"), p.bin_index("ssd1")}
+        assert set(np.unique(p.bin_of).tolist()) <= ssd_ids
+
+    def test_requires_ssd(self):
+        bins = [Bin("gpu0:mem", TIER_GPU, 1e9, 1e12)]
+        with pytest.raises(ValueError):
+            hash_place(bins, zipf_hotness(10), FB)
+
+    def test_validates(self):
+        p = hash_place(simple_bins(), zipf_hotness(300), FB)
+        p.validate(FB)
+
+
+class TestDataPlacement:
+    def test_queries(self):
+        bins = simple_bins()
+        p = hash_place(bins, zipf_hotness(100), FB)
+        assert p.bin_index("ssd1") == 4
+        with pytest.raises(KeyError):
+            p.bin_index("nope")
+        occ = p.occupancy(FB)
+        assert 0 <= occ["gpu0:mem"] <= 1.0
+        assert p.bytes_in("ssd0", FB) == p.vertices_in("ssd0").size * FB
+
+    def test_validate_rejects_unplaced(self):
+        bins = simple_bins()
+        p = DataPlacement(bins, np.full(10, -1, dtype=np.int32))
+        with pytest.raises(ValueError):
+            p.validate(FB)
+
+
+class TestMakeBins:
+    def test_replicated_policy_default(self):
+        m = machine_a()
+        topo = m.build(classic_layouts(m)["c"])
+        bins = make_bins(
+            topo,
+            gpu_cache_bytes=1e6,
+            cpu_cache_bytes=2e6,
+            ssd_capacity_bytes=1e9,
+            traffic={"ssd0": 6e9},
+        )
+        names = {b.name for b in bins}
+        # one logical replicated GPU bin, no per-GPU bins
+        from repro.core.ddak import GPU_REPLICATED
+
+        assert GPU_REPLICATED in names
+        assert "gpu0:mem" not in names
+        assert "mem0" in names and "ssd7" in names
+        ssd0 = next(b for b in bins if b.name == "ssd0")
+        assert ssd0.traffic == 6e9
+        gpu_bin = next(b for b in bins if b.name == GPU_REPLICATED)
+        assert gpu_bin.tier == TIER_GPU
+
+    def test_partitioned_policy(self):
+        m = machine_a()
+        topo = m.build(classic_layouts(m)["c"])
+        bins = make_bins(
+            topo, 1e6, 2e6, 1e9, gpu_cache_policy="partitioned"
+        )
+        names = {b.name for b in bins}
+        assert "gpu0:mem" in names and "gpu3:mem" in names
+
+    def test_bad_policy(self):
+        m = machine_a()
+        topo = m.build(classic_layouts(m)["c"])
+        with pytest.raises(ValueError):
+            make_bins(topo, 1e6, 2e6, 1e9, gpu_cache_policy="magic")
+
+    def test_validation(self):
+        m = machine_a()
+        topo = m.build(classic_layouts(m)["c"])
+        with pytest.raises(ValueError):
+            make_bins(topo, -1, 0, 0)

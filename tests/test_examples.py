@@ -1,0 +1,54 @@
+"""Smoke checks for the example scripts.
+
+Full runs take tens of seconds each (they are exercised manually and in
+the docs); here we verify each example parses, imports everything it
+needs, and exposes a ``main``.  ``quickstart``'s training section is
+additionally executed with reduced sizes to catch API drift.
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    names = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in names, f"{path.name} must define main()"
+    # module docstring present (they are documentation)
+    assert ast.get_docstring(tree), f"{path.name} needs a docstring"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Import the module (executes top-level imports, not main())."""
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)
+
+
+def test_quickstart_training_section():
+    """The quickstart's real-training part, at reduced size."""
+    from repro.gnn import Trainer, graphsage, make_planted_labels
+    from repro.graphs.datasets import tiny_dataset
+
+    ds = tiny_dataset(num_vertices=400, avg_degree=8, feature_dim=16,
+                      batch_size=32, seed=7)
+    feats, labels = make_planted_labels(ds.graph, 3, 16, noise=0.3, seed=7)
+    model = graphsage(in_dim=16, num_classes=3, hidden_dim=32, seed=7)
+    trainer = Trainer(model, ds.graph, feats, labels, fanouts=(5, 5),
+                      lr=5e-3, seed=7)
+    first = trainer.train_epoch(ds.train_ids, batch_size=32)
+    for _ in range(4):
+        last = trainer.train_epoch(ds.train_ids, batch_size=32)
+    assert last.mean_loss < first.mean_loss

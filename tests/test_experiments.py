@@ -1,0 +1,63 @@
+"""Smoke tests for the experiment registry and fast runners.
+
+The heavy per-figure runners are exercised by ``benchmarks/``; here we
+check the registry wiring and run the cheap ones end-to-end.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    run_cost_tco,
+    run_fig1_placements_a,
+    run_table1_machines,
+    run_table2_datasets,
+)
+from repro.experiments.registry import (
+    get_runner,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_lists_all_paper_elements(self):
+        ids = list_experiments()
+        for fig in ("fig1", "fig2", "fig7", "fig10", "fig13", "fig16",
+                    "fig17", "fig18", "table1", "table2", "cost"):
+            assert fig in ids
+
+    def test_get_runner(self):
+        assert callable(get_runner("fig10"))
+        with pytest.raises(KeyError, match="available"):
+            get_runner("fig99")
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("table1")
+        assert result.experiment_id == "table1"
+
+
+class TestRunners:
+    def test_table1(self):
+        result = run_table1_machines()
+        assert len(result.table) == 3
+        assert "machine_a" in result.table.render()
+
+    def test_table2_quick(self):
+        result = run_table2_datasets(quick=True)
+        assert len(result.table) == 4
+
+    def test_cost(self):
+        result = run_cost_tco()
+        assert result.data["ratio"] == pytest.approx(0.5, abs=0.05)
+
+    def test_fig1_quick_order_matches_paper(self):
+        result = run_fig1_placements_a(quick=True)
+        t = result.data
+        # the paper's ordering: c < a < d < b
+        assert t["c"] <= t["a"] <= t["d"] <= t["b"]
+        assert result.elapsed_seconds >= 0
+
+    def test_result_render(self):
+        result = run_table1_machines()
+        text = result.render()
+        assert "table1" in text and "regenerated" in text

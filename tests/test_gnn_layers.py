@@ -1,0 +1,230 @@
+"""Gradient-checked tests for the NumPy GNN layers."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.layers import Block, GATConv, SAGEConv, _segment_softmax, mean_aggregate
+
+
+def rand_block(n=8, e=20, seed=0):
+    rng = np.random.default_rng(seed)
+    return Block(rng.integers(0, n, e), rng.integers(0, n, e), n)
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f at array x."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f()
+        x[idx] = orig - eps
+        fm = f()
+        x[idx] = orig
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestBlock:
+    def test_valid(self):
+        b = Block([0, 1], [1, 2], 3)
+        assert b.num_edges == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Block([0], [5], 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Block([0, 1], [1], 3)
+
+
+class TestMeanAggregate:
+    def test_simple_mean(self):
+        # vertex 0 aggregates from 1 and 2
+        b = Block([0, 0], [1, 2], 3)
+        h = np.array([[0.0], [2.0], [4.0]])
+        agg, counts = mean_aggregate(b, h)
+        assert agg[0, 0] == pytest.approx(3.0)
+        assert agg[1, 0] == 0.0 and agg[2, 0] == 0.0
+        assert counts[0] == 2
+
+    def test_isolated_gets_zero(self):
+        b = Block([], [], 2)
+        h = np.ones((2, 3))
+        agg, counts = mean_aggregate(b, h)
+        assert np.all(agg == 0)
+
+
+class TestSegmentSoftmax:
+    def test_sums_to_one_per_segment(self):
+        rng = np.random.default_rng(0)
+        seg = rng.integers(0, 5, 40)
+        scores = rng.standard_normal((40, 3))
+        sm = _segment_softmax(scores, seg, 5)
+        sums = np.zeros((5, 3))
+        np.add.at(sums, seg, sm)
+        present = np.unique(seg)
+        assert np.allclose(sums[present], 1.0)
+
+    def test_stability_large_scores(self):
+        seg = np.array([0, 0])
+        sm = _segment_softmax(np.array([1000.0, 999.0]), seg, 1)
+        assert np.isfinite(sm).all()
+        assert sm[:, 0].sum() == pytest.approx(1.0)
+
+
+class TestSAGEConv:
+    def test_forward_shape(self):
+        layer = SAGEConv(4, 6, seed=0)
+        b = rand_block()
+        out = layer.forward(b, np.random.default_rng(1).standard_normal((8, 4)))
+        assert out.shape == (8, 6)
+
+    def test_forward_rejects_bad_shape(self):
+        layer = SAGEConv(4, 6, seed=0)
+        with pytest.raises(ValueError):
+            layer.forward(rand_block(), np.zeros((8, 5)))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            SAGEConv(2, 2, seed=0).backward(np.zeros((3, 2)))
+
+    @pytest.mark.parametrize("pname", ["w_self", "w_neigh", "bias"])
+    def test_parameter_gradients(self, pname):
+        rng = np.random.default_rng(2)
+        layer = SAGEConv(3, 4, activation=True, seed=0)
+        b = rand_block(n=6, e=12, seed=3)
+        h = rng.standard_normal((6, 3))
+        w_out = rng.standard_normal((6, 4))  # random linear loss
+
+        def loss():
+            return float((layer.forward(b, h) * w_out).sum())
+
+        loss()
+        layer.backward(w_out)
+        got = layer.grads[pname]
+        want = numerical_grad(loss, layer.params[pname])
+        assert np.allclose(got, want, atol=1e-5)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(4)
+        layer = SAGEConv(3, 4, seed=1)
+        b = rand_block(n=6, e=12, seed=5)
+        h = rng.standard_normal((6, 3))
+        w_out = rng.standard_normal((6, 4))
+
+        def loss():
+            return float((layer.forward(b, h) * w_out).sum())
+
+        loss()
+        got = layer.backward(w_out)
+        want = numerical_grad(loss, h)
+        assert np.allclose(got, want, atol=1e-5)
+
+
+class TestGATConv:
+    def test_forward_shape(self):
+        layer = GATConv(4, 8, num_heads=2, seed=0)
+        b = rand_block()
+        out = layer.forward(b, np.random.default_rng(1).standard_normal((8, 4)))
+        assert out.shape == (8, 8)
+
+    def test_heads_must_divide(self):
+        with pytest.raises(ValueError):
+            GATConv(4, 7, num_heads=2)
+
+    def test_isolated_vertex_self_fallback(self):
+        layer = GATConv(3, 6, num_heads=2, activation=False, seed=0)
+        b = Block([0], [1], 3)  # vertex 2 has no in-edges
+        h = np.random.default_rng(0).standard_normal((3, 3))
+        out = layer.forward(b, h)
+        hw = (h @ layer.params["w"]) + layer.params["bias"]
+        assert np.allclose(out[2], hw[2])
+
+    @pytest.mark.parametrize("pname", ["w", "attn_src", "attn_dst", "bias"])
+    def test_parameter_gradients(self, pname):
+        rng = np.random.default_rng(7)
+        layer = GATConv(3, 4, num_heads=2, activation=True, seed=2)
+        b = rand_block(n=5, e=10, seed=8)
+        h = rng.standard_normal((5, 3))
+        w_out = rng.standard_normal((5, 4))
+
+        def loss():
+            return float((layer.forward(b, h) * w_out).sum())
+
+        loss()
+        layer.backward(w_out)
+        got = layer.grads[pname]
+        want = numerical_grad(loss, layer.params[pname])
+        assert np.allclose(got, want, atol=1e-5), pname
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(9)
+        layer = GATConv(3, 4, num_heads=1, activation=False, seed=3)
+        b = rand_block(n=5, e=10, seed=10)
+        h = rng.standard_normal((5, 3))
+        w_out = rng.standard_normal((5, 4))
+
+        def loss():
+            return float((layer.forward(b, h) * w_out).sum())
+
+        loss()
+        got = layer.backward(w_out)
+        want = numerical_grad(loss, h)
+        assert np.allclose(got, want, atol=1e-5)
+
+
+class TestGCNConv:
+    def test_forward_shape(self):
+        from repro.gnn.layers import GCNConv
+        layer = GCNConv(4, 6, seed=0)
+        b = rand_block()
+        out = layer.forward(b, np.random.default_rng(1).standard_normal((8, 4)))
+        assert out.shape == (8, 6)
+
+    @pytest.mark.parametrize("pname", ["w", "bias"])
+    def test_parameter_gradients(self, pname):
+        from repro.gnn.layers import GCNConv
+        rng = np.random.default_rng(11)
+        layer = GCNConv(3, 4, activation=True, seed=4)
+        b = rand_block(n=6, e=12, seed=12)
+        h = rng.standard_normal((6, 3))
+        w_out = rng.standard_normal((6, 4))
+
+        def loss():
+            return float((layer.forward(b, h) * w_out).sum())
+
+        loss()
+        layer.backward(w_out)
+        got = layer.grads[pname]
+        want = numerical_grad(loss, layer.params[pname])
+        assert np.allclose(got, want, atol=1e-5)
+
+    def test_input_gradient(self):
+        from repro.gnn.layers import GCNConv
+        rng = np.random.default_rng(13)
+        layer = GCNConv(3, 4, seed=5)
+        b = rand_block(n=6, e=12, seed=14)
+        h = rng.standard_normal((6, 3))
+        w_out = rng.standard_normal((6, 4))
+
+        def loss():
+            return float((layer.forward(b, h) * w_out).sum())
+
+        loss()
+        got = layer.backward(w_out)
+        want = numerical_grad(loss, h)
+        assert np.allclose(got, want, atol=1e-5)
+
+    def test_isolated_vertex_keeps_self(self):
+        from repro.gnn.layers import Block, GCNConv
+        layer = GCNConv(3, 3, activation=False, seed=0)
+        b = Block([], [], 2)
+        h = np.random.default_rng(0).standard_normal((2, 3))
+        out = layer.forward(b, h)
+        want = h @ layer.params["w"] + layer.params["bias"]
+        assert np.allclose(out, want)

@@ -1,0 +1,106 @@
+"""Tests for the lspci-style chassis description parser."""
+
+import pytest
+
+from repro.core.topology import LinkKind, NodeKind
+from repro.hardware.machines import machine_a
+from repro.hardware.pcie import PcieParseError, parse_chassis, render_chassis
+from repro.hardware.specs import QPI_BW, pcie_bw
+
+GOOD = """
+machine test_box
+rc rc0
+rc rc1
+switch sw0
+link rc0 rc1 qpi
+link rc0 sw0 pcie4 x16 bus9
+mem mem0 rc0 384GiB
+slots rc0.bays rc0 4 x4 ssd bus1-4
+slots sw0.slots sw0 12 x16 gpu,ssd
+"""
+
+
+class TestParse:
+    def test_parses_structure(self):
+        ch = parse_chassis(GOOD)
+        assert ch.name == "test_box"
+        assert ch.interconnects["rc0"] is NodeKind.ROOT_COMPLEX
+        assert ch.interconnects["sw0"] is NodeKind.SWITCH
+        assert len(ch.trunks) == 2
+        assert len(ch.memories) == 1
+        assert [g.name for g in ch.slot_groups] == ["rc0.bays", "sw0.slots"]
+
+    def test_link_kinds_and_bandwidths(self):
+        ch = parse_chassis(GOOD)
+        qpi = next(t for t in ch.trunks if t.kind is LinkKind.QPI)
+        assert qpi.capacity == QPI_BW
+        pcie = next(t for t in ch.trunks if t.kind is LinkKind.PCIE)
+        assert pcie.capacity == pcie_bw(4, 16)
+        assert pcie.label == "bus9"
+
+    def test_slot_group_details(self):
+        ch = parse_chassis(GOOD)
+        bays = ch.group("rc0.bays")
+        assert bays.units == 4
+        assert bays.allowed == frozenset({"ssd"})
+        slots = ch.group("sw0.slots")
+        assert slots.allowed == frozenset({"gpu", "ssd"})
+
+    def test_comments_and_blank_lines(self):
+        ch = parse_chassis("machine x\n# a comment\n\nrc rc0\n")
+        assert ch.name == "x"
+
+    def test_memory_size_units(self):
+        ch = parse_chassis("machine x\nrc rc0\nmem m rc0 1TiB\n")
+        assert ch.memories[0].capacity_bytes == pytest.approx(1024**4)
+
+    def test_nvlink_trunk(self):
+        ch = parse_chassis("machine x\nrc rc0\nrc rc1\nlink rc0 rc1 nvlink\n")
+        assert ch.trunks[0].kind is LinkKind.NVLINK
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            ("rc rc0\n", "first line must be 'machine'"),
+            ("machine a\nmachine b\n", "duplicate machine"),
+            ("machine a\nbogus x\n", "unknown keyword"),
+            ("machine a\nrc rc0\nlink rc0 rc0 warp\n", "unknown link kind"),
+            ("machine a\nrc rc0\nmem m rc0 12parsecs\n", "bad size"),
+            ("machine a\nrc rc0\nslots s rc0 4 wide ssd\n", "bad lane width"),
+            ("machine a\nrc rc0\nlink rc0 sw pcie4\n", "lane width"),
+            ("", "empty description"),
+        ],
+    )
+    def test_bad_inputs(self, text, fragment):
+        with pytest.raises(PcieParseError, match=fragment):
+            parse_chassis(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_chassis("machine a\nbogus\n")
+        except PcieParseError as err:
+            assert err.lineno == 2
+
+
+class TestRoundTrip:
+    def test_render_parse_roundtrip(self):
+        ch = parse_chassis(GOOD)
+        text = render_chassis(ch)
+        again = parse_chassis(text)
+        assert again.name == ch.name
+        assert set(again.interconnects) == set(ch.interconnects)
+        assert [g.name for g in again.slot_groups] == [
+            g.name for g in ch.slot_groups
+        ]
+
+    def test_machine_a_roundtrips(self):
+        ch = machine_a().chassis
+        again = parse_chassis(render_chassis(ch))
+        assert set(again.interconnects) == set(ch.interconnects)
+        assert len(again.trunks) == len(ch.trunks)
+        for g in ch.slot_groups:
+            g2 = again.group(g.name)
+            assert g2.units == g.units
+            assert g2.allowed == g.allowed

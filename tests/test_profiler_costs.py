@@ -1,0 +1,89 @@
+"""Tests for the simulated hardware profiler and the cost models."""
+
+import pytest
+
+from repro.costs.monetary import (
+    CLUSTER_NODE,
+    FIVE_YEARS_H,
+    MOMENT_MACHINE,
+    MachineCost,
+    cloud_cost_ratio,
+    cost_per_epoch,
+    tco_comparison,
+)
+from repro.hardware.machines import classic_layouts, machine_a
+from repro.hardware.profiler import HardwareProfiler
+from repro.hardware.specs import P5510
+
+
+@pytest.fixture(scope="module")
+def topo():
+    m = machine_a()
+    return m.build(classic_layouts(m)["c"])
+
+
+class TestProfiler:
+    def test_noiseless_probe_matches_capacity(self, topo):
+        prof = HardwareProfiler(topo, ssd=P5510, noise=0.0)
+        bw = prof.probe_link("rc0", "plx0")
+        assert bw == pytest.approx(topo.link("rc0", "plx0").capacity, rel=1e-6)
+
+    def test_full_profile_covers_links_and_ssds(self, topo):
+        prof = HardwareProfiler(topo, ssd=P5510, noise=0.0)
+        profile = prof.profile()
+        assert len(profile.links) == len(topo.links)
+        assert set(profile.ssd_read) == set(topo.ssds())
+
+    def test_noise_perturbs_but_bounded(self, topo):
+        prof = HardwareProfiler(topo, ssd=P5510, noise=0.05, seed=1)
+        cap = topo.link("rc0", "plx0").capacity
+        values = [prof.probe_link("rc0", "plx0") for _ in range(20)]
+        assert any(abs(v - cap) > 1e-6 for v in values)
+        assert all(0.5 * cap < v < 1.5 * cap for v in values)
+
+    def test_apply_builds_measured_topology(self, topo):
+        prof = HardwareProfiler(topo, ssd=P5510, noise=0.0)
+        measured = prof.apply_profile_topo = prof.profile().apply(topo)
+        assert measured.link("rc0", "plx0").capacity == pytest.approx(
+            topo.link("rc0", "plx0").capacity
+        )
+        measured.validate()
+
+    def test_queue_depth_sweep_monotone(self, topo):
+        prof = HardwareProfiler(topo, ssd=P5510, noise=0.0)
+        sweep = prof.queue_depth_sweep([1, 16, 256])
+        assert sweep[1] < sweep[16] < sweep[256]
+
+    def test_sweep_requires_ssd(self, topo):
+        with pytest.raises(ValueError):
+            HardwareProfiler(topo).queue_depth_sweep()
+
+
+class TestCosts:
+    def test_tco_matches_paper(self):
+        tco = tco_comparison()
+        assert tco["machine_a_b_usd"] == pytest.approx(90_270, rel=1e-3)
+        assert tco["cluster_c_usd"] == pytest.approx(181_100, rel=1e-3)
+        assert tco["ratio"] == pytest.approx(0.5, abs=0.02)
+
+    def test_cloud_ratio_half(self):
+        assert cloud_cost_ratio() == pytest.approx(0.5)
+
+    def test_capex_components(self):
+        assert MOMENT_MACHINE.capex_usd > CLUSTER_NODE.capex_usd
+        assert MOMENT_MACHINE.num_gpus == 4
+
+    def test_opex_grows_with_years(self):
+        assert MOMENT_MACHINE.opex_usd(5) > MOMENT_MACHINE.opex_usd(1)
+
+    def test_tco_validation(self):
+        with pytest.raises(ValueError):
+            MOMENT_MACHINE.tco_usd(years=0)
+        with pytest.raises(ValueError):
+            MachineCost("x", -1, 0, 0, 0, 0, 0)
+
+    def test_cost_per_epoch(self):
+        usd = cost_per_epoch(90_270, FIVE_YEARS_H, 15.0)
+        assert 0 < usd < 1.0
+        with pytest.raises(ValueError):
+            cost_per_epoch(1.0, 0, 15.0)

@@ -1,0 +1,166 @@
+"""Tests for the communication-topology graph container."""
+
+import pytest
+
+from repro.core.topology import (
+    Link,
+    LinkKind,
+    Node,
+    NodeKind,
+    Topology,
+    iter_physical_links,
+)
+
+
+def tiny_topo() -> Topology:
+    """rc0 -- gpu0 and rc0 -- ssd0, plus a CPU memory bank."""
+    t = Topology("tiny")
+    t.add("rc0", NodeKind.ROOT_COMPLEX)
+    t.add("gpu0", NodeKind.GPU)
+    t.add("gpu0:mem", NodeKind.GPU_MEM, egress_bw=1e12)
+    t.add("ssd0", NodeKind.SSD, egress_bw=6e9)
+    t.add("mem0", NodeKind.CPU_MEM, egress_bw=60e9)
+    t.add_link("gpu0", "rc0", 20e9)
+    t.add_link("gpu0:mem", "gpu0", 1e12, LinkKind.INTERNAL)
+    t.add_link("ssd0", "rc0", 6e9)
+    t.add_link("mem0", "rc0", 60e9, LinkKind.MEMORY)
+    return t
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        t = Topology()
+        t.add("a", NodeKind.GPU)
+        with pytest.raises(ValueError):
+            t.add("a", NodeKind.GPU)
+
+    def test_link_to_unknown_node_rejected(self):
+        t = Topology()
+        t.add("a", NodeKind.GPU)
+        with pytest.raises(KeyError):
+            t.add_link("a", "b", 1e9)
+
+    def test_duplicate_link_rejected(self):
+        t = Topology()
+        t.add("a", NodeKind.GPU)
+        t.add("b", NodeKind.SWITCH)
+        t.add_link("a", "b", 1e9)
+        with pytest.raises(ValueError):
+            t.add_link("a", "b", 1e9)
+
+    def test_full_duplex_creates_both_directions(self):
+        t = Topology()
+        t.add("a", NodeKind.GPU)
+        t.add("b", NodeKind.SWITCH)
+        t.add_link("a", "b", 1e9, capacity_ba=2e9)
+        assert t.link("a", "b").capacity == 1e9
+        assert t.link("b", "a").capacity == 2e9
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", 0.0)
+
+    def test_invalid_egress(self):
+        with pytest.raises(ValueError):
+            Node("x", NodeKind.SSD, egress_bw=-5)
+
+
+class TestTaxonomy:
+    def test_kind_predicates(self):
+        assert NodeKind.SSD.is_storage
+        assert NodeKind.CPU_MEM.is_storage
+        assert NodeKind.GPU_MEM.is_storage
+        assert NodeKind.GPU.is_compute
+        assert NodeKind.SWITCH.is_interconnect
+        assert NodeKind.ROOT_COMPLEX.is_interconnect
+        assert not NodeKind.GPU.is_storage
+
+    def test_node_queries(self):
+        t = tiny_topo()
+        assert {n.name for n in t.storage_nodes} == {"gpu0:mem", "ssd0", "mem0"}
+        assert t.gpus() == ["gpu0"]
+        assert t.ssds() == ["ssd0"]
+        assert {n.name for n in t.interconnect_nodes} == {"rc0"}
+
+
+class TestRouting:
+    def test_shortest_path_direct(self):
+        t = tiny_topo()
+        assert t.shortest_path("ssd0", "gpu0") == ["ssd0", "rc0", "gpu0"]
+
+    def test_path_to_self(self):
+        t = tiny_topo()
+        assert t.shortest_path("gpu0", "gpu0") == ["gpu0"]
+
+    def test_qpi_penalty_prefers_local(self):
+        t = Topology()
+        t.add("rc0", NodeKind.ROOT_COMPLEX)
+        t.add("rc1", NodeKind.ROOT_COMPLEX)
+        t.add("sw", NodeKind.SWITCH)
+        t.add("gpu0", NodeKind.GPU)
+        t.add("ssd0", NodeKind.SSD, egress_bw=6e9)
+        # two routes: ssd0->rc0->sw->gpu0 (3 hops) vs ssd0->rc0->rc1->gpu0
+        # where rc0->rc1 is QPI (penalty) — local wins despite equal hops
+        t.add_link("rc0", "rc1", 20e9, LinkKind.QPI)
+        t.add_link("rc0", "sw", 20e9)
+        t.add_link("sw", "gpu0", 20e9)
+        t.add_link("rc1", "gpu0", 20e9)
+        t.add_link("ssd0", "rc0", 6e9)
+        path = t.shortest_path("ssd0", "gpu0")
+        assert path == ["ssd0", "rc0", "sw", "gpu0"]
+
+    def test_no_path_returns_none(self):
+        t = Topology()
+        t.add("a", NodeKind.GPU)
+        t.add("b", NodeKind.SSD, egress_bw=1e9)
+        assert t.shortest_path("b", "a") is None
+
+    def test_path_links(self):
+        t = tiny_topo()
+        links = t.path_links(["ssd0", "rc0", "gpu0"])
+        assert [(l.src, l.dst) for l in links] == [("ssd0", "rc0"), ("rc0", "gpu0")]
+
+    def test_unknown_endpoint_raises(self):
+        t = tiny_topo()
+        with pytest.raises(KeyError):
+            t.shortest_path("nope", "gpu0")
+
+
+class TestValidation:
+    def test_valid_topology_passes(self):
+        tiny_topo().validate()
+
+    def test_no_gpu_fails(self):
+        t = Topology()
+        t.add("ssd0", NodeKind.SSD, egress_bw=1e9)
+        with pytest.raises(ValueError, match="no GPU"):
+            t.validate()
+
+    def test_unreachable_storage_fails(self):
+        t = Topology()
+        t.add("gpu0", NodeKind.GPU)
+        t.add("rc", NodeKind.ROOT_COMPLEX)
+        t.add("ssd0", NodeKind.SSD, egress_bw=1e9)
+        t.add("mem0", NodeKind.CPU_MEM)
+        t.add_link("gpu0", "rc", 1e9)
+        t.add_link("mem0", "rc", 1e9)
+        with pytest.raises(ValueError, match="cannot reach"):
+            t.validate()
+
+
+class TestMisc:
+    def test_copy_is_independent(self):
+        t = tiny_topo()
+        c = t.copy("clone")
+        c.add("gpu1", NodeKind.GPU)
+        assert "gpu1" in c and "gpu1" not in t
+
+    def test_describe_mentions_all_nodes(self):
+        text = tiny_topo().describe()
+        for name in ("rc0", "gpu0", "ssd0", "mem0"):
+            assert name in text
+
+    def test_iter_physical_links_dedupes_directions(self):
+        t = tiny_topo()
+        once = list(iter_physical_links(t))
+        assert len(once) == len(t.links) // 2

@@ -1,0 +1,122 @@
+"""Tests for shared utilities: units, rng, validation, tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.report import Table
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.units import GB, GiB, fmt_bytes, fmt_rate, fmt_time
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert GiB == 1024**3
+        assert GB == 1000**3
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(0) == "0 B"
+        assert fmt_bytes(2 * GiB) == "2.00 GiB"
+        assert fmt_bytes(-GiB) == "-1.00 GiB"
+        assert "KiB" in fmt_bytes(2048)
+
+    def test_fmt_rate(self):
+        assert fmt_rate(6 * GB) == "6.00 GB/s"
+
+    def test_fmt_time(self):
+        assert fmt_time(2.5) == "2.50 s"
+        assert fmt_time(0.002) == "2.00 ms"
+        assert fmt_time(2e-6) == "2.00 us"
+        assert fmt_time(-1.0) == "-1.00 s"
+
+
+class TestRng:
+    def test_ensure_rng_from_int(self):
+        a, b = ensure_rng(7), ensure_rng(7)
+        assert a.integers(100) == b.integers(100)
+
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_spawn_rngs_independent_and_stable(self):
+        kids1 = spawn_rngs(3, 4)
+        kids2 = spawn_rngs(3, 4)
+        vals1 = [k.integers(1000) for k in kids1]
+        vals2 = [k.integers(1000) for k in kids2]
+        assert vals1 == vals2
+        assert len(set(vals1)) > 1
+
+
+class TestValidation:
+    def test_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        for bad in (0, -1, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive("x", bad)
+
+    def test_nonnegative(self):
+        assert check_nonnegative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -0.1)
+
+    def test_range_and_fraction(self):
+        assert check_in_range("x", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+        assert check_fraction("x", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.2)
+
+
+class TestTable:
+    def test_render_aligns(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row(["alpha", 1.0])
+        t.add_row(["b", 123456.0])
+        text = t.render()
+        assert "demo" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, rule, 2 rows
+        assert len(t) == 2
+
+    def test_row_width_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([0.000123])
+        t.add_row([3.14159])
+        t.add_row([12345.6])
+        text = t.render()
+        assert "0.000123" in text
+        assert "3.142" in text
+
+    @given(
+        st.lists(
+            st.lists(
+                st.one_of(st.integers(-1000, 1000), st.text(max_size=8)),
+                min_size=2,
+                max_size=2,
+            ),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_render_never_crashes(self, rows):
+        t = Table(["x", "y"])
+        for row in rows:
+            t.add_row(row)
+        assert isinstance(t.render(), str)
