@@ -5,11 +5,19 @@ Every per-figure benchmark regenerates its paper element through
 ``pytest benchmarks/ --benchmark-only`` reproduces the whole evaluation
 section.  Set ``REPRO_FULL=1`` to run at full dataset scale (minutes);
 the default is the quick profile (CI-sized, same shapes).
+
+Set ``REPRO_JSONL=path`` to capture telemetry for every ``run_once``
+benchmark and append one structured run record per benchmark to that
+file — tagged with host machine spec, dataset/experiment, seed, and
+git SHA (schema in EXPERIMENTS.md).
 """
 
 import os
+import platform
 
 import pytest
+
+from repro import obs
 
 
 @pytest.fixture(scope="session")
@@ -29,9 +37,51 @@ def show():
     return _show
 
 
+def bench_metadata(**extra) -> dict:
+    """Provenance tags for one benchmark record: git SHA, host machine
+    spec, dataset scale profile, plus any run-specific ``extra``."""
+    return obs.run_metadata(
+        machine_spec={
+            "processor": platform.processor() or platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "system": platform.system(),
+        },
+        scale_profile="full" if os.environ.get("REPRO_FULL") == "1" else "quick",
+        **extra,
+    )
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark a runner with a single round (they are minutes-long
-    simulations, not microseconds-long kernels)."""
-    return benchmark.pedantic(
-        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    simulations, not microseconds-long kernels).
+
+    When ``REPRO_JSONL`` names a sink file, the run executes under a
+    telemetry capture and emits one tagged JSONL run record.
+    """
+    sink = os.environ.get("REPRO_JSONL")
+    if not sink:
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+    with obs.capture() as tel:
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+    run_id = getattr(benchmark, "name", None) or getattr(
+        fn, "__name__", "benchmark"
     )
+    record = obs.build_run_record(
+        run_id=run_id,
+        config={
+            "benchmark": run_id,
+            "kwargs": {k: repr(v) for k, v in kwargs.items()},
+        },
+        telemetry=tel,
+        meta=bench_metadata(
+            experiment=getattr(result, "experiment_id", None),
+            dataset=kwargs.get("datasets") or kwargs.get("dataset"),
+            seed=kwargs.get("seed", 0),
+        ),
+    )
+    obs.append_jsonl(sink, record)
+    return result

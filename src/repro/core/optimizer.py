@@ -19,12 +19,12 @@ data placement + prediction, ready for the epoch simulator or reports.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.ddak import DataPlacement, ddak_place, make_bins
 from repro.core.flowmodel import (
     CPU_CLASS,
@@ -351,85 +351,116 @@ class MomentOptimizer:
 
         ``candidates`` restricts the hardware search (e.g. to a fixed
         placement, for data-placement-only runs à la Section 4.5).
+
+        Search time comes from the ``optimizer.optimize`` obs span —
+        :attr:`MomentPlan.optimize_seconds` is its duration (spans
+        measure even with telemetry disabled).
         """
-        t0 = time.perf_counter()
         cfg = self.config
-        if hotness is None:
-            hotness = self.estimate_hotness(dataset)
-        plan = capacity_plan(
-            self.machine,
-            dataset,
-            gpu_cache_fraction=cfg.gpu_cache_fraction,
-            cpu_cache_vertex_fraction=cfg.cpu_cache_vertex_fraction,
-        )
-        num_banks = len(self.machine.chassis.memories)
-        fractions = tier_fractions(
-            hotness,
-            dataset.feature_bytes,
-            plan,
-            self.num_gpus,
-            num_banks=num_banks,
-            gpu_cache_policy=cfg.gpu_cache_policy,
-        )
-
-        if candidates is None:
-            all_candidates = enumerate_placements(
-                self.machine.chassis, self.num_gpus, self.num_ssds
+        with obs.span(
+            "optimizer.optimize",
+            machine=self.machine.name,
+            gpus=self.num_gpus,
+            ssds=self.num_ssds,
+            dataset=dataset.spec.key,
+        ) as root:
+            if hotness is None:
+                with obs.span("optimizer.hotness"):
+                    hotness = self.estimate_hotness(dataset)
+            plan = capacity_plan(
+                self.machine,
+                dataset,
+                gpu_cache_fraction=cfg.gpu_cache_fraction,
+                cpu_cache_vertex_fraction=cfg.cpu_cache_vertex_fraction,
             )
-            unique = dedupe_placements(all_candidates, self.machine.chassis)
-        else:
-            all_candidates = list(candidates)
-            unique = all_candidates
-        if not unique:
-            raise ValueError(
-                f"no feasible placement of {self.num_gpus} GPUs / "
-                f"{self.num_ssds} SSDs on {self.machine.name}"
-            )
-
-        # Stage 1: cheap flexible max-flow score for every candidate;
-        # Stage 2: exact multicommodity LP on the most promising ones.
-        prelim = []
-        for p in unique:
-            topo_p = self.machine.build(p, nvlink_pairs=cfg.nvlink_pairs)
-            flexible = scoring_demand(
-                topo_p, fractions, gpu_cache_policy=cfg.gpu_cache_policy
-            )
-            pass1 = min_completion_time(
-                topo_p, flexible, rel_tol=cfg.score_rel_tol
-            )
-            prelim.append((pass1.throughput, p, pass1))
-        prelim.sort(key=lambda t: -t[0])
-        finalists = prelim[: max(1, cfg.lp_top_k)]
-        scored = []
-        for _, p, pass1 in finalists:
-            topo_p = self.machine.build(p, nvlink_pairs=cfg.nvlink_pairs)
-            concrete = concrete_demand(
-                topo_p,
-                fractions,
-                pass1.storage_rate,
+            num_banks = len(self.machine.chassis.memories)
+            fractions = tier_fractions(
+                hotness,
+                dataset.feature_bytes,
+                plan,
+                self.num_gpus,
+                num_banks=num_banks,
                 gpu_cache_policy=cfg.gpu_cache_policy,
             )
-            pass2 = multicommodity_min_time(topo_p, concrete)
-            scored.append(
-                ScoredPlacement(p, pass2.throughput, pass1, pass2)
-            )
-        scored.sort(key=lambda s: -s.throughput)
-        best = scored[0]
 
-        topo = self.machine.build(
-            best.placement, nvlink_pairs=cfg.nvlink_pairs
-        )
-        bins = make_bins(
-            topo,
-            gpu_cache_bytes=plan.gpu_cache_bytes,
-            cpu_cache_bytes=plan.cpu_cache_bytes,
-            ssd_capacity_bytes=plan.ssd_capacity_bytes,
-            traffic=best.prediction.storage_rate,
-            gpu_cache_policy=cfg.gpu_cache_policy,
-        )
-        data_placement = ddak_place(
-            bins, hotness, dataset.feature_bytes, pool_size=cfg.ddak_pool_size
-        )
+            if candidates is None:
+                with obs.span("optimizer.enumerate") as sp:
+                    all_candidates = enumerate_placements(
+                        self.machine.chassis, self.num_gpus, self.num_ssds
+                    )
+                    sp.set(candidates=len(all_candidates))
+                with obs.span("optimizer.dedupe") as sp:
+                    unique = dedupe_placements(
+                        all_candidates, self.machine.chassis
+                    )
+                    sp.set(unique=len(unique))
+            else:
+                all_candidates = list(candidates)
+                unique = all_candidates
+            if not unique:
+                raise ValueError(
+                    f"no feasible placement of {self.num_gpus} GPUs / "
+                    f"{self.num_ssds} SSDs on {self.machine.name}"
+                )
+            obs.add("optimizer.candidates", len(all_candidates))
+            obs.add("optimizer.unique", len(unique))
+
+            # Stage 1: cheap flexible max-flow score for every candidate;
+            # Stage 2: exact multicommodity LP on the most promising ones.
+            prelim = []
+            with obs.span("optimizer.score.pass1", candidates=len(unique)):
+                for p in unique:
+                    topo_p = self.machine.build(
+                        p, nvlink_pairs=cfg.nvlink_pairs
+                    )
+                    flexible = scoring_demand(
+                        topo_p, fractions, gpu_cache_policy=cfg.gpu_cache_policy
+                    )
+                    pass1 = min_completion_time(
+                        topo_p, flexible, rel_tol=cfg.score_rel_tol
+                    )
+                    prelim.append((pass1.throughput, p, pass1))
+            prelim.sort(key=lambda t: -t[0])
+            finalists = prelim[: max(1, cfg.lp_top_k)]
+            scored = []
+            with obs.span("optimizer.score.pass2", finalists=len(finalists)):
+                for _, p, pass1 in finalists:
+                    topo_p = self.machine.build(
+                        p, nvlink_pairs=cfg.nvlink_pairs
+                    )
+                    concrete = concrete_demand(
+                        topo_p,
+                        fractions,
+                        pass1.storage_rate,
+                        gpu_cache_policy=cfg.gpu_cache_policy,
+                    )
+                    pass2 = multicommodity_min_time(topo_p, concrete)
+                    scored.append(
+                        ScoredPlacement(p, pass2.throughput, pass1, pass2)
+                    )
+            scored.sort(key=lambda s: -s.throughput)
+            best = scored[0]
+
+            topo = self.machine.build(
+                best.placement, nvlink_pairs=cfg.nvlink_pairs
+            )
+            with obs.span("optimizer.ddak", pool_size=cfg.ddak_pool_size):
+                bins = make_bins(
+                    topo,
+                    gpu_cache_bytes=plan.gpu_cache_bytes,
+                    cpu_cache_bytes=plan.cpu_cache_bytes,
+                    ssd_capacity_bytes=plan.ssd_capacity_bytes,
+                    traffic=best.prediction.storage_rate,
+                    gpu_cache_policy=cfg.gpu_cache_policy,
+                )
+                data_placement = ddak_place(
+                    bins,
+                    hotness,
+                    dataset.feature_bytes,
+                    pool_size=cfg.ddak_pool_size,
+                )
+            root.set(throughput=best.throughput)
+        obs.observe("optimizer.optimize_seconds", root.duration)
         return MomentPlan(
             placement=best.placement,
             topology=topo,
@@ -440,6 +471,6 @@ class MomentOptimizer:
             scored=scored[: cfg.report_top_k],
             num_candidates=len(all_candidates),
             num_unique=len(unique),
-            optimize_seconds=time.perf_counter() - t0,
+            optimize_seconds=root.duration,
             mcf=best.mcf,
         )

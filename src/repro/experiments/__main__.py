@@ -5,6 +5,12 @@ Usage::
     python -m repro.experiments            # list experiments
     python -m repro.experiments fig10      # run one (full settings)
     python -m repro.experiments all --quick
+    python -m repro.experiments fig10 --trace --json-out runs.jsonl
+
+``--trace`` prints the telemetry report (span tree, tier breakdown,
+busiest links) after each experiment; ``--json-out`` appends one
+structured JSONL run record per experiment (schema documented in
+EXPERIMENTS.md).  Either flag enables telemetry for the run.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.experiments.registry import list_experiments, run_experiment
 
 
@@ -30,6 +37,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="small datasets / few simulated batches (CI-sized)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable telemetry and print the span tree + metric tables",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and append one JSONL run record per "
+        "experiment to PATH",
+    )
     args = parser.parse_args(argv)
 
     if not args.experiment:
@@ -39,9 +58,30 @@ def main(argv=None) -> int:
         return 0
 
     ids = list_experiments() if args.experiment == "all" else [args.experiment]
+    telemetry_on = args.trace or args.json_out is not None
     for exp in ids:
-        result = run_experiment(exp, quick=args.quick)
-        result.print()
+        if telemetry_on:
+            with obs.capture() as tel:
+                result = run_experiment(exp, quick=args.quick)
+            record = obs.build_run_record(
+                run_id=exp,
+                config={
+                    "experiment": exp,
+                    "quick": args.quick,
+                    "title": result.title,
+                },
+                telemetry=tel,
+                meta=obs.run_metadata(),
+            )
+            if args.json_out:
+                obs.append_jsonl(args.json_out, record)
+            result.print()
+            if args.trace:
+                print()
+                print(obs.report.render_record(record))
+        else:
+            result = run_experiment(exp, quick=args.quick)
+            result.print()
         print()
     return 0
 

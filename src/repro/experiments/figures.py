@@ -18,13 +18,13 @@ Conventions:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.distdgl import DistDglSystem
 from repro.baselines.mgids import MGidsSystem
 from repro.baselines.mhyperion import MHyperionSystem
@@ -112,12 +112,13 @@ def _batches(quick: bool) -> int:
 
 
 def _timed(fn):
-    """Wrap a runner to record its wall time."""
+    """Wrap a runner in an ``experiment.*`` obs span; the span's
+    duration (measured even with telemetry off) is the wall time."""
 
     def wrapper(*args, **kwargs) -> ExperimentResult:
-        t0 = time.perf_counter()
-        result = fn(*args, **kwargs)
-        result.elapsed_seconds = time.perf_counter() - t0
+        with obs.span(f"experiment.{fn.__name__}") as sp:
+            result = fn(*args, **kwargs)
+        result.elapsed_seconds = sp.duration
         return result
 
     wrapper.__name__ = fn.__name__

@@ -1,0 +1,189 @@
+"""repro.obs — opt-in telemetry: spans, metrics, JSONL run records.
+
+Telemetry is **off by default**.  Instrumented code calls the
+module-level helpers (:func:`add`, :func:`observe`, :func:`set_gauge`,
+:func:`span`); with no active :class:`Telemetry` each is a single
+``None`` check (counters/gauges/histograms) or a detached span that
+still measures time but records nothing — so the simulator and
+optimizer hot paths pay effectively nothing when nobody is watching.
+
+Enable for a whole process with :func:`enable`, or scoped with
+:func:`capture`::
+
+    from repro import obs
+
+    with obs.capture() as tel:
+        MomentSystem(machine).run(dataset)
+    print(obs.report.render_telemetry(tel))
+
+``python -m repro.experiments <id> --trace --json-out run.jsonl`` wires
+this up end to end; see EXPERIMENTS.md for the record schema.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.obs import report
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.record import (
+    append_jsonl,
+    build_run_record,
+    derive_stats,
+    read_jsonl,
+    run_metadata,
+    validate_record,
+)
+from repro.obs.trace import Span, Tracer, traced
+
+__all__ = [
+    "Telemetry",
+    "RunScope",
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "traced",
+    "enable",
+    "disable",
+    "active",
+    "capture",
+    "span",
+    "add",
+    "observe",
+    "set_gauge",
+    "scope",
+    "snapshot",
+    "append_jsonl",
+    "read_jsonl",
+    "build_run_record",
+    "run_metadata",
+    "derive_stats",
+    "validate_record",
+    "report",
+]
+
+
+class Telemetry:
+    """One telemetry session: a metrics registry plus a span tracer."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready spans + metrics of the whole session."""
+        return {
+            "spans": self.tracer.to_dicts(),
+            "metrics": self.registry.snapshot(),
+        }
+
+
+class RunScope:
+    """Delta view over the active telemetry for one sub-run.
+
+    Created by :func:`scope` before a run starts; :meth:`collect`
+    returns only the spans and metric increments recorded since —
+    what :class:`repro.runtime.system.SystemResult` carries as its
+    ``telemetry`` payload.
+    """
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self._telemetry = telemetry
+        self._span_mark = telemetry.tracer.mark()
+        self._metric_mark = telemetry.registry.mark()
+
+    def collect(self) -> Dict[str, object]:
+        """Spans + metric deltas recorded since this scope was opened."""
+        return {
+            "spans": self._telemetry.tracer.to_dicts(self._span_mark),
+            "metrics": self._telemetry.registry.snapshot(
+                since=self._metric_mark
+            ),
+        }
+
+
+#: The process-wide active session (None = telemetry disabled).
+_ACTIVE: Optional[Telemetry] = None
+
+
+def active() -> Optional[Telemetry]:
+    """The active telemetry session, or None when disabled."""
+    return _ACTIVE
+
+
+def enable() -> Telemetry:
+    """Start a fresh process-wide telemetry session and return it."""
+    global _ACTIVE
+    _ACTIVE = Telemetry()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Turn telemetry off (helpers return to their no-op fast path)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def capture() -> Iterator[Telemetry]:
+    """Enable a fresh session for the block, restoring the prior state."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = Telemetry()
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# Hot-path helpers: one None check when telemetry is disabled.
+# ----------------------------------------------------------------------
+def span(name: str, **attrs: object) -> Span:
+    """A span recorded into the active tracer (detached when disabled).
+
+    Detached spans still measure ``duration`` — callers may rely on it
+    (e.g. ``MomentPlan.optimize_seconds``) with telemetry off.
+    """
+    tel = _ACTIVE
+    if tel is None:
+        return Span(name, attrs or None)
+    return tel.tracer.span(name, **attrs)
+
+
+def add(name: str, amount: float, **labels: object) -> None:
+    """Increment a counter (no-op when disabled)."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.registry.counter(name, **labels).inc(amount)
+
+
+def observe(name: str, value: float, **labels: object) -> None:
+    """Record a histogram sample (no-op when disabled)."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.registry.histogram(name, **labels).observe(value)
+
+
+def set_gauge(name: str, value: float, **labels: object) -> None:
+    """Set a gauge (no-op when disabled)."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.registry.gauge(name, **labels).set(value)
+
+
+def scope() -> Optional[RunScope]:
+    """Open a :class:`RunScope` on the active session (None if off)."""
+    tel = _ACTIVE
+    if tel is None:
+        return None
+    return RunScope(tel)
+
+
+def snapshot() -> Optional[Dict[str, object]]:
+    """Snapshot of the active session (None when disabled)."""
+    tel = _ACTIVE
+    if tel is None:
+        return None
+    return tel.snapshot()

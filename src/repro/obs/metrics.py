@@ -1,0 +1,215 @@
+"""Process-wide metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` owns every metric of one telemetry session.
+Metrics are identified by a name plus optional string labels
+(``registry.counter("sim.tier_bytes", tier="ssd")``); the rendered form
+``sim.tier_bytes{tier=ssd}`` is what JSONL records and reports show.
+
+Registries are plain containers — the decision of whether telemetry is
+on at all lives in :mod:`repro.obs` (module-level helpers no-op when no
+registry is active, which is the hot-path fast path).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def metric_key(name: str, labels: Mapping[str, object]) -> MetricKey:
+    """Canonical (name, sorted-labels) key for one metric instance."""
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def render_key(key: MetricKey) -> str:
+    """Human/JSON form: ``name`` or ``name{k=v,k2=v2}``."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def parse_key(rendered: str) -> MetricKey:
+    """Inverse of :func:`render_key` (used by record round-trips)."""
+    if "{" not in rendered:
+        return (rendered, ())
+    name, _, rest = rendered.partition("{")
+    items = []
+    for pair in rest.rstrip("}").split(","):
+        if pair:
+            k, _, v = pair.partition("=")
+            items.append((k, v))
+    return (name, tuple(sorted(items)))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing total (bytes, candidates, stalls...)."""
+
+    key: MetricKey
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the running total."""
+        if amount < 0:
+            raise ValueError(f"counter {render_key(self.key)}: inc({amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value (utilization, bandwidth)."""
+
+    key: MetricKey
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with the latest observation."""
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Full-fidelity sample store with percentile queries.
+
+    Simulated runs observe at most thousands of samples per metric, so
+    we keep every value (exact percentiles, delta-able snapshots)
+    rather than bucketing.
+    """
+
+    key: MetricKey
+    values: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (q in [0, 100], linear interpolation)."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q={q} outside [0, 100]")
+        if not self.values:
+            return math.nan
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = (q / 100.0) * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def stats(self, since: int = 0) -> Dict[str, float]:
+        """Summary statistics over ``values[since:]`` (JSON-ready)."""
+        window = self.values[since:]
+        if not window:
+            return {"count": 0}
+        ordered = sorted(window)
+        sub = Histogram(self.key, ordered)
+        return {
+            "count": len(window),
+            "sum": float(sum(window)),
+            "mean": float(sum(window) / len(window)),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": sub.percentile(50),
+            "p90": sub.percentile(90),
+            "p99": sub.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """All metrics of one telemetry session."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[MetricKey, Counter] = {}
+        self.gauges: Dict[MetricKey, Gauge] = {}
+        self.histograms: Dict[MetricKey, Histogram] = {}
+
+    # -- metric factories (get-or-create) ------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = metric_key(name, labels)
+        try:
+            return self.counters[key]
+        except KeyError:
+            c = self.counters[key] = Counter(key)
+            return c
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = metric_key(name, labels)
+        try:
+            return self.gauges[key]
+        except KeyError:
+            g = self.gauges[key] = Gauge(key)
+            return g
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        key = metric_key(name, labels)
+        try:
+            return self.histograms[key]
+        except KeyError:
+            h = self.histograms[key] = Histogram(key)
+            return h
+
+    # -- queries --------------------------------------------------------
+    def counter_values(self, name: str) -> Dict[MetricKey, float]:
+        """All counters with ``name``, keyed by full metric key."""
+        return {
+            k: c.value for k, c in self.counters.items() if k[0] == name
+        }
+
+    def mark(self) -> Dict[str, Dict[MetricKey, float]]:
+        """Opaque position marker for :meth:`snapshot` deltas."""
+        return {
+            "counters": {k: c.value for k, c in self.counters.items()},
+            "hist_counts": {
+                k: float(h.count) for k, h in self.histograms.items()
+            },
+        }
+
+    def snapshot(
+        self, since: Optional[Dict[str, Dict[MetricKey, float]]] = None
+    ) -> Dict[str, Dict[str, object]]:
+        """JSON-ready state, optionally as a delta from a prior mark.
+
+        Counters subtract the marked value, histograms report stats of
+        the samples observed after the mark, gauges always report their
+        latest value (an instantaneous reading has no meaningful delta).
+        Zero-delta counters are dropped from delta snapshots.
+        """
+        base_c = (since or {}).get("counters", {})
+        base_h = (since or {}).get("hist_counts", {})
+        counters = {}
+        for key, c in self.counters.items():
+            value = c.value - base_c.get(key, 0.0)
+            if since is None or value != 0.0:
+                counters[render_key(key)] = value
+        histograms = {}
+        for key, h in self.histograms.items():
+            stats = h.stats(since=int(base_h.get(key, 0.0)))
+            if since is None or stats["count"]:
+                histograms[render_key(key)] = stats
+        return {
+            "counters": counters,
+            "gauges": {render_key(k): g.value for k, g in self.gauges.items()},
+            "histograms": histograms,
+        }
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)

@@ -1,0 +1,199 @@
+"""Structured JSONL run records.
+
+One record per run — config, span tree, metrics, derived stats, and
+host metadata — appended as a single JSON line so a directory of runs
+greps/streams like the mubench replication's ``run_table.csv``.  The
+schema is documented field-by-field in EXPERIMENTS.md ("Run record
+schema"); bump :data:`SCHEMA` when it changes shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import sys
+import time
+from typing import IO, Dict, List, Optional, Union
+
+SCHEMA = "repro.obs/v1"
+
+
+def _json_default(value):
+    """Last-resort coercion for numpy scalars/arrays and odd objects."""
+    try:
+        return value.item()
+    except AttributeError:
+        pass
+    try:
+        return list(value)
+    except TypeError:
+        return str(value)
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """Current commit SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def run_metadata(**extra: object) -> Dict[str, object]:
+    """Host/provenance tags shared by every record of a process.
+
+    ``extra`` adds run-specific tags (machine spec, dataset, seed...).
+    """
+    meta: Dict[str, object] = {
+        "git_sha": git_sha(),
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "argv": list(sys.argv),
+    }
+    meta.update(extra)
+    return meta
+
+
+def build_run_record(
+    run_id: str,
+    config: Optional[Dict[str, object]] = None,
+    telemetry=None,
+    derived: Optional[Dict[str, object]] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble one JSON-ready run record.
+
+    ``telemetry`` is a :class:`repro.obs.Telemetry` (or None for a
+    record that only carries config/metadata).  Derived stats default
+    to :func:`derive_stats` over the telemetry's metrics.
+    """
+    record: Dict[str, object] = {
+        "schema": SCHEMA,
+        "run_id": run_id,
+        "timestamp_unix_s": time.time(),
+        "config": config or {},
+        "meta": meta or {},
+    }
+    if telemetry is not None:
+        record["spans"] = telemetry.tracer.to_dicts()
+        record["metrics"] = telemetry.registry.snapshot()
+        record["elapsed_s"] = time.perf_counter() - telemetry.tracer.t0
+        if derived is None:
+            derived = derive_stats(record["metrics"])
+    record["derived"] = derived or {}
+    return record
+
+
+def derive_stats(metrics: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """Headline numbers computed from a metrics snapshot.
+
+    Tier fractions from the ``sim.tier_bytes`` counters, the QPI share
+    of link traffic, and the most-utilized link — the three quantities
+    the paper's evaluation keeps coming back to.
+    """
+    counters: Dict[str, float] = metrics.get("counters", {})  # type: ignore
+    gauges: Dict[str, float] = metrics.get("gauges", {})  # type: ignore
+    out: Dict[str, object] = {}
+
+    tier_bytes = {
+        _label_of(k, "tier"): v
+        for k, v in counters.items()
+        if k.startswith("sim.tier_bytes{")
+    }
+    total = sum(tier_bytes.values())
+    if total > 0:
+        out["tier_bytes"] = tier_bytes
+        out["tier_fractions"] = {
+            t: v / total for t, v in tier_bytes.items()
+        }
+
+    kind_bytes = {
+        _label_of(k, "kind"): v
+        for k, v in counters.items()
+        if k.startswith("traffic.kind_bytes{")
+    }
+    link_total = sum(kind_bytes.values())
+    if link_total > 0:
+        out["link_kind_bytes"] = kind_bytes
+        out["qpi_share"] = kind_bytes.get("qpi", 0.0) / link_total
+
+    utils = {
+        k: v
+        for k, v in gauges.items()
+        if k.startswith("traffic.link_utilization{")
+    }
+    if utils:
+        busiest = max(utils, key=utils.get)
+        out["busiest_link"] = {
+            "link": busiest[busiest.index("{") :].strip("{}"),
+            "utilization": utils[busiest],
+        }
+    return out
+
+
+def _label_of(rendered: str, label: str) -> str:
+    """Value of one label in a rendered metric name (\"\" if absent)."""
+    from repro.obs.metrics import parse_key
+
+    return dict(parse_key(rendered)[1]).get(label, "")
+
+
+# ----------------------------------------------------------------------
+# JSONL I/O
+# ----------------------------------------------------------------------
+def append_jsonl(
+    path_or_file: Union[str, os.PathLike, IO[str]],
+    record: Dict[str, object],
+) -> None:
+    """Append one record as a single JSON line (creates the file)."""
+    line = json.dumps(record, default=_json_default)
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(line + "\n")
+        return
+    with open(path_or_file, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+
+
+def read_jsonl(
+    path: Union[str, os.PathLike],
+) -> List[Dict[str, object]]:
+    """All records of a JSONL file, in file order."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_record(record: Dict[str, object]) -> List[str]:
+    """Schema problems of one record ([] when valid)."""
+    problems = []
+    if record.get("schema") != SCHEMA:
+        problems.append(f"schema is {record.get('schema')!r}, want {SCHEMA!r}")
+    for field in ("run_id", "timestamp_unix_s", "config", "meta", "derived"):
+        if field not in record:
+            problems.append(f"missing field {field!r}")
+    for span in record.get("spans", []):
+        for field in ("name", "start_s", "duration_s", "depth"):
+            if field not in span:
+                problems.append(f"span missing {field!r}: {span}")
+                break
+    metrics = record.get("metrics")
+    if metrics is not None:
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                problems.append(f"metrics missing section {section!r}")
+    return problems

@@ -1,0 +1,161 @@
+"""Human-readable rendering of telemetry: span tree + metric tables.
+
+``python -m repro.experiments <id> --trace`` prints these after each
+experiment; they also render any JSONL record produced earlier
+(:func:`render_record`), so a saved run can be re-inspected without
+re-running anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import parse_key
+from repro.utils.report import Table
+from repro.utils.units import fmt_bytes, fmt_time
+
+
+def render_span_tree(
+    spans: List[Dict[str, object]],
+    min_duration_s: float = 0.0,
+    max_spans: int = 200,
+) -> str:
+    """Indented span tree with durations and self-times.
+
+    ``spans`` is the JSON form (``Tracer.to_dicts`` / a record's
+    ``spans`` field).  Repeated siblings beyond ``max_spans`` are
+    elided with a count so per-step spans don't drown the tree.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    children: Dict[Optional[int], List[int]] = {}
+    for i, s in enumerate(spans):
+        children.setdefault(s.get("parent"), []).append(i)
+    lines: List[str] = []
+
+    def walk(idx: int) -> None:
+        s = spans[idx]
+        if s["duration_s"] < min_duration_s:
+            return
+        kids = children.get(idx, [])
+        child_time = sum(spans[k]["duration_s"] for k in kids)
+        self_s = max(0.0, s["duration_s"] - child_time)
+        note = ""
+        attrs = s.get("attrs") or {}
+        if attrs:
+            inner = ", ".join(f"{k}={v}" for k, v in attrs.items())
+            note = f"  [{inner}]"
+        lines.append(
+            f"{'  ' * int(s['depth'])}{s['name']}: "
+            f"{fmt_time(s['duration_s'])}"
+            + (f" (self {fmt_time(self_s)})" if kids else "")
+            + note
+        )
+        for k in kids:
+            walk(k)
+
+    for root in children.get(None, []):
+        walk(root)
+        if len(lines) >= max_spans:
+            lines.append(f"... ({len(spans)} spans total)")
+            break
+    return "\n".join(lines)
+
+
+def render_tier_table(metrics: Dict[str, Dict[str, object]]) -> str:
+    """Per-tier feature-byte breakdown from ``sim.tier_bytes``."""
+    counters: Dict[str, float] = metrics.get("counters", {})  # type: ignore
+    tiers = {}
+    for rendered, value in counters.items():
+        name, labels = parse_key(rendered)
+        if name == "sim.tier_bytes":
+            tiers[dict(labels).get("tier", "?")] = value
+    if not tiers:
+        return "(no tier-byte counters recorded)"
+    total = sum(tiers.values())
+    table = Table(
+        ["tier", "bytes", "fraction"], title="Feature bytes by serving tier"
+    )
+    order = {"gpu": 0, "peer_gpu": 1, "cpu": 2, "ssd": 3}
+    for tier in sorted(tiers, key=lambda t: order.get(t, 9)):
+        table.add_row(
+            [tier, fmt_bytes(tiers[tier]), f"{tiers[tier] / total:.3f}"]
+        )
+    return table.render()
+
+
+def render_link_table(
+    metrics: Dict[str, Dict[str, object]], top_k: int = 8
+) -> str:
+    """Busiest physical links: bytes and (when known) utilization."""
+    counters: Dict[str, float] = metrics.get("counters", {})  # type: ignore
+    gauges: Dict[str, float] = metrics.get("gauges", {})  # type: ignore
+    rows = []
+    for rendered, value in counters.items():
+        name, labels = parse_key(rendered)
+        if name != "traffic.link_bytes":
+            continue
+        d = dict(labels)
+        util_key = (
+            f"traffic.link_utilization{{dst={d.get('dst')},src={d.get('src')}}}"
+        )
+        rows.append(
+            (
+                value,
+                d.get("src", "?"),
+                d.get("dst", "?"),
+                gauges.get(util_key),
+            )
+        )
+    if not rows:
+        return "(no per-link counters recorded)"
+    rows.sort(key=lambda r: -r[0])
+    table = Table(
+        ["link", "bytes", "utilization"], title=f"Busiest links (top {top_k})"
+    )
+    for value, src, dst, util in rows[:top_k]:
+        table.add_row(
+            [
+                f"{src} -> {dst}",
+                fmt_bytes(value),
+                "n/a" if util is None else f"{util:.3f}",
+            ]
+        )
+    return table.render()
+
+
+def render_record(record: Dict[str, object]) -> str:
+    """Full report of one run record: header, tree, tier + link tables."""
+    out = [
+        f"-- telemetry: {record.get('run_id', '?')} "
+        f"(schema {record.get('schema', '?')}) --"
+    ]
+    meta = record.get("meta") or {}
+    if meta.get("git_sha"):
+        out.append(f"git: {str(meta['git_sha'])[:12]}")
+    spans = record.get("spans") or []
+    out.append(render_span_tree(spans))
+    metrics = record.get("metrics") or {}
+    tier = render_tier_table(metrics)
+    if not tier.startswith("("):
+        out.append(tier)
+    links = render_link_table(metrics)
+    if not links.startswith("("):
+        out.append(links)
+    derived = record.get("derived") or {}
+    if "qpi_share" in derived:
+        out.append(f"QPI share of link traffic: {derived['qpi_share']:.3f}")
+    return "\n".join(out)
+
+
+def render_telemetry(telemetry) -> str:
+    """Report straight from a live :class:`repro.obs.Telemetry`."""
+    return render_record(
+        {
+            "run_id": "(live)",
+            "schema": "repro.obs/v1",
+            "spans": telemetry.tracer.to_dicts(),
+            "metrics": telemetry.registry.snapshot(),
+            "derived": {},
+        }
+    )

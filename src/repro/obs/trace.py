@@ -1,0 +1,166 @@
+"""Lightweight span tracing with nesting.
+
+A :class:`Span` always measures its own wall time (two
+``perf_counter`` calls), so code can read ``span.duration`` as its one
+source of truth whether or not telemetry is enabled; *recording* into a
+:class:`Tracer` only happens when one is attached.  Spans nest via the
+tracer's stack: entering a span makes it the parent of spans opened
+before it exits, giving the JSONL record and the report renderer a
+proper tree.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, List, Optional
+
+
+class Span:
+    """One timed region, optionally recorded into a tracer."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start",
+        "end",
+        "depth",
+        "parent",
+        "index",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, object]] = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs or {}
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+        self.depth: int = 0
+        self.parent: Optional[int] = None
+        self.index: Optional[int] = None
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        """Seconds between enter and exit (0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach result attributes (candidate counts, byte totals...)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._open(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        if self._tracer is not None:
+            self._tracer._close(self)
+
+    def to_dict(self, t0: float = 0.0) -> Dict[str, object]:
+        """JSON-ready form with times relative to the tracer's birth."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "start_s": self.start - t0,
+            "duration_s": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+        }
+        if self.attrs:
+            out["attrs"] = {k: _jsonable(v) for k, v in self.attrs.items()}
+        return out
+
+
+def _jsonable(value):
+    """Coerce span attributes to JSON-safe scalars."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    try:  # numpy scalars
+        return value.item()
+    except AttributeError:
+        return str(value)
+
+
+class Tracer:
+    """Collects finished spans of one telemetry session, in start order."""
+
+    def __init__(self) -> None:
+        self.t0 = time.perf_counter()
+        self.wall_t0 = time.time()
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """Create a recorded span (enter it with ``with``)."""
+        return Span(name, attrs, tracer=self)
+
+    # -- tracer internals (called by Span.__enter__/__exit__) ----------
+    def _open(self, span: Span) -> None:
+        span.index = len(self.spans)
+        span.depth = len(self._stack)
+        span.parent = self._stack[-1].index if self._stack else None
+        self.spans.append(span)
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        # tolerate out-of-order exits (generator-held spans): pop
+        # through the stack until this span is gone
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # -- queries --------------------------------------------------------
+    def mark(self) -> int:
+        """Position marker: spans recorded so far (for run scoping)."""
+        return len(self.spans)
+
+    def to_dicts(self, since: int = 0) -> List[Dict[str, object]]:
+        """Finished-or-open spans from ``since`` on, JSON-ready."""
+        return [s.to_dict(self.t0) for s in self.spans[since:]]
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with ``name``, in start order."""
+        return [s for s in self.spans if s.name == name]
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every span named ``name``."""
+        return sum(s.duration for s in self.find(name))
+
+
+def traced(
+    name: Optional[str] = None, **attrs: object
+) -> Callable[[Callable], Callable]:
+    """Decorator: run the function inside a span.
+
+    The span is named after the function unless ``name`` is given.  The
+    wrapper asks :mod:`repro.obs` for the active telemetry at call time,
+    so enabling/disabling telemetry after decoration behaves correctly.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or f"{fn.__module__.split('.')[-1]}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from repro import obs
+
+            with obs.span(span_name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

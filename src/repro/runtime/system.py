@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.ddak import DataPlacement, ddak_place, hash_place, make_bins
 from repro.core.optimizer import (
     CapacityPlan,
@@ -56,6 +57,9 @@ class SystemResult:
     plan: Optional[MomentPlan] = None
     placement: Optional[Placement] = None
     data_placement: Optional[DataPlacement] = None
+    #: Spans + metric deltas recorded during this run (None when
+    #: telemetry was disabled); see :class:`repro.obs.RunScope`.
+    telemetry: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -198,7 +202,50 @@ class GnnSystem:
         nvlink_pairs: Optional[Sequence[Tuple[int, int]]] = None,
         hotness: Optional[np.ndarray] = None,
     ) -> SystemResult:
-        """Budget memory, place data, and simulate one epoch."""
+        """Budget memory, place data, and simulate one epoch.
+
+        With telemetry enabled (:func:`repro.obs.enable` /
+        :func:`~repro.obs.capture`), the run executes inside a
+        ``system.run`` span and the result's :attr:`SystemResult.telemetry`
+        carries the spans and metric deltas it produced.
+        """
+        scope = obs.scope()
+        with obs.span(
+            "system.run",
+            system=self.name,
+            machine=self.machine.name,
+            dataset=dataset.spec.key,
+            model=model,
+            gpus=num_gpus,
+        ) as sp:
+            result = self._run(
+                dataset,
+                placement=placement,
+                model=model,
+                num_gpus=num_gpus,
+                num_ssds=num_ssds,
+                fanouts=fanouts,
+                sample_batches=sample_batches,
+                nvlink_pairs=nvlink_pairs,
+                hotness=hotness,
+            )
+            sp.set(ok=result.ok)
+        if scope is not None:
+            result.telemetry = scope.collect()
+        return result
+
+    def _run(
+        self,
+        dataset: ScaledDataset,
+        placement: Optional[Placement],
+        model: str,
+        num_gpus: int,
+        num_ssds: int,
+        fanouts: Tuple[int, ...],
+        sample_batches: int,
+        nvlink_pairs: Optional[Sequence[Tuple[int, int]]],
+        hotness: Optional[np.ndarray],
+    ) -> SystemResult:
         io = IoStackConfig()
         result = SystemResult(
             system=self.name,
@@ -226,9 +273,10 @@ class GnnSystem:
             result.oom = str(err)
             return result
 
-        chosen, plan = self.choose_placement(
-            dataset, placement, num_gpus, num_ssds, nvlink_pairs
-        )
+        with obs.span("system.choose_placement", system=self.name):
+            chosen, plan = self.choose_placement(
+                dataset, placement, num_gpus, num_ssds, nvlink_pairs
+            )
         topo = self.machine.build(chosen, nvlink_pairs=nvlink_pairs)
 
         cap_plan = capacity_plan(
@@ -253,9 +301,10 @@ class GnnSystem:
                 ).estimate_hotness(dataset)
 
         traffic = plan.prediction.storage_rate if plan is not None else None
-        data_placement = self.place_data(
-            topo, dataset, hotness, cap_plan, traffic
-        )
+        with obs.span("system.place_data", system=self.name):
+            data_placement = self.place_data(
+                topo, dataset, hotness, cap_plan, traffic
+            )
 
         binding = None
         if not self.shares_ssds:

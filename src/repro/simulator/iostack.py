@@ -115,6 +115,23 @@ class GpuIoQueues:
             1, self.config.num_queue_pairs
         )
 
+    def export_metrics(self, gpu: str = "gpu0") -> None:
+        """Publish queue totals to the active obs session (no-op when
+        telemetry is disabled): submitted requests, stall seconds, and
+        the current ring occupancy as a fraction of capacity.
+        """
+        from repro import obs
+
+        if obs.active() is None:
+            return
+        obs.add("io.requests_submitted", self.total_submitted, gpu=gpu)
+        obs.add("io.stall_seconds", self.total_stall_s, gpu=gpu)
+        obs.set_gauge(
+            "io.queue_occupancy",
+            self.outstanding / self.config.max_outstanding,
+            gpu=gpu,
+        )
+
 
 def pages_for_bytes(nbytes: float, page_bytes: int) -> int:
     """Number of page requests needed for a transfer."""

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.ddak import DataPlacement
 from repro.core.flowmodel import TrafficDemand
 from repro.core.topology import NodeKind, Topology
@@ -178,6 +179,8 @@ class EpochSimulator:
         self._mem_banks = sorted(
             n.name for n in topo.nodes_of_kind(NodeKind.CPU_MEM)
         )
+        self._mem_set = set(self._mem_banks)
+        self._ssd_set = set(topo.ssds())
         self._bin_names = [b.name for b in placement.bins]
         self._param_bytes = self._model_param_bytes()
         #: paper-frame multiplier for per-step byte/shape quantities
@@ -199,6 +202,7 @@ class EpochSimulator:
             page_bytes=self.config.io.page_bytes,
             queue_depth=self.config.io.queue_depth,
         )
+        self._ssd_eff_bw = eff
         for ssd in self.topo.ssds():
             key = egress_key(ssd)
             if key in caps:
@@ -384,6 +388,14 @@ class EpochSimulator:
         }
         return stages, fair, demand, local_total
 
+    def _tier_of(self, source: str) -> str:
+        """Serving tier of one routable source node (telemetry label)."""
+        if source in self._ssd_set:
+            return "ssd"
+        if source in self._mem_set:
+            return "cpu"
+        return "peer_gpu"
+
     def _local_mem_banks(self, gpu: str) -> List[str]:
         """DRAM banks on the GPU's own machine (all banks when the
         topology is a single machine)."""
@@ -477,36 +489,51 @@ class EpochSimulator:
             1, int(round(steps_scaled * ds.scale / self._ratio))
         )
         n_sim = min(cfg.sample_batches, steps_scaled)
+        tel = obs.active()
 
         traffic = TrafficAccount(self.topo)
         total_demand = TrafficDemand()
         stage_sums = {"io": 0.0, "sample": 0.0, "compute": 0.0, "sync": 0.0}
         step_time_sum = 0.0
         local_sum = 0.0
-        for _ in range(n_sim):
-            stages, fair, demand, local = self.simulate_step(rngs, parts)
-            for k in stage_sums:
-                stage_sums[k] += stages[k]
-            # 3-stage pipeline: slowest stage gates; sync is a barrier
-            step_time_sum += (
-                max(stages["io"], stages["sample"], stages["compute"])
-                + stages["sync"]
-            )
-            # account traffic from the gating demand's routed paths
-            # (prefetch flows belong to later steps)
-            step_traffic: Dict = {}
-            for (bin_name, gpu), nbytes in demand.entries.items():
-                for f in self._feature_flows(bin_name, gpu, nbytes):
-                    for key in f.path:
-                        step_traffic[key] = (
-                            step_traffic.get(key, 0.0) + f.demand
-                        )
-            traffic.add(step_traffic)
-            for key, nbytes in demand.entries.items():
-                total_demand.entries[key] = (
-                    total_demand.entries.get(key, 0.0) + nbytes
+        with obs.span(
+            "epoch.run",
+            dataset=ds.spec.key,
+            gpus=len(self.gpus),
+            steps_simulated=n_sim,
+        ):
+            for step in range(n_sim):
+                with obs.span("epoch.step", step=step):
+                    stages, fair, demand, local = self.simulate_step(
+                        rngs, parts
+                    )
+                for k in stage_sums:
+                    stage_sums[k] += stages[k]
+                # 3-stage pipeline: slowest stage gates; sync is a barrier
+                step_time = (
+                    max(stages["io"], stages["sample"], stages["compute"])
+                    + stages["sync"]
                 )
-            local_sum += local
+                step_time_sum += step_time
+                if tel is not None:
+                    for k, v in stages.items():
+                        obs.observe("sim.stage_seconds", v, stage=k)
+                    obs.observe("sim.step_seconds", step_time)
+                # account traffic from the gating demand's routed paths
+                # (prefetch flows belong to later steps)
+                step_traffic: Dict = {}
+                for (bin_name, gpu), nbytes in demand.entries.items():
+                    for f in self._feature_flows(bin_name, gpu, nbytes):
+                        for key in f.path:
+                            step_traffic[key] = (
+                                step_traffic.get(key, 0.0) + f.demand
+                            )
+                traffic.add(step_traffic)
+                for key, nbytes in demand.entries.items():
+                    total_demand.entries[key] = (
+                        total_demand.entries.get(key, 0.0) + nbytes
+                    )
+                local_sum += local
 
         extrap = steps_per_epoch / n_sim
         epoch_seconds = (step_time_sum / n_sim) * steps_per_epoch
@@ -518,6 +545,19 @@ class EpochSimulator:
         per_gpu = epoch_demand.per_gpu()
         mean_io = stage_sums["io"] / n_sim
         io_time_epoch = max(mean_io * steps_per_epoch, 1e-12)
+        traffic = traffic.scaled(extrap)
+        if tel is not None:
+            self._export_epoch_metrics(
+                epoch_demand,
+                per_gpu,
+                local_bytes,
+                traffic,
+                stage_sums,
+                step_time_sum,
+                n_sim,
+                epoch_seconds,
+                io_time_epoch,
+            )
         return EpochResult(
             epoch_seconds=epoch_seconds,
             paper_epoch_seconds=epoch_seconds,
@@ -535,6 +575,59 @@ class EpochSimulator:
             },
             local_bytes=local_bytes,
             external_bytes=external_bytes,
-            traffic=traffic.scaled(extrap),
+            traffic=traffic,
             demand=epoch_demand,
         )
+
+    def _export_epoch_metrics(
+        self,
+        epoch_demand: TrafficDemand,
+        per_gpu: Dict[str, float],
+        local_bytes: float,
+        traffic: TrafficAccount,
+        stage_sums: Dict[str, float],
+        step_time_sum: float,
+        n_sim: int,
+        epoch_seconds: float,
+        io_time_epoch: float,
+    ) -> None:
+        """Publish one epoch's accounting to the active obs session.
+
+        All quantities are paper-frame epoch totals, so the counters
+        line up with :class:`EpochResult` and the paper's figures:
+        ``sim.tier_bytes`` by serving tier (gpu = local cache hits),
+        per-GPU demand, stage-occupancy shares, per-link traffic, and
+        per-SSD utilization against the IOPS-capped effective rate.
+        """
+        obs.add("sim.tier_bytes", local_bytes, tier="gpu")
+        for (source, _gpu), nbytes in epoch_demand.entries.items():
+            obs.add("sim.tier_bytes", nbytes, tier=self._tier_of(source))
+        for gpu in self.gpus:
+            obs.add("sim.per_gpu_bytes", per_gpu.get(gpu, 0.0), gpu=gpu)
+            obs.set_gauge(
+                "sim.per_gpu_inlet",
+                per_gpu.get(gpu, 0.0) / io_time_epoch,
+                gpu=gpu,
+            )
+        mean_step = step_time_sum / n_sim
+        if mean_step > 0:
+            for k, total in stage_sums.items():
+                obs.set_gauge(
+                    "sim.stage_share", (total / n_sim) / mean_step, stage=k
+                )
+            obs.set_gauge(
+                "sim.sync_share", (stage_sums["sync"] / n_sim) / mean_step
+            )
+        traffic.export_metrics(
+            seconds=epoch_seconds, capacities=self._capacities
+        )
+        obs.set_gauge("io.ssd_effective_read_bw", self._ssd_eff_bw)
+        for ssd in sorted(self._ssd_set):
+            nbytes = traffic.egress_bytes(ssd)
+            obs.add("io.ssd_bytes", nbytes, ssd=ssd)
+            if self._ssd_eff_bw > 0:
+                obs.set_gauge(
+                    "io.ssd_utilization",
+                    nbytes / (self._ssd_eff_bw * io_time_epoch),
+                    ssd=ssd,
+                )

@@ -10,7 +10,7 @@ pressure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Mapping
+from typing import Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.core.topology import LinkKind, Topology
 
@@ -70,3 +70,64 @@ class TrafficAccount:
         ]
         links.sort(key=lambda t: -t[2])
         return links[:k]
+
+    def egress_bytes(self, node: str) -> float:
+        """Bytes served from one storage device's egress port."""
+        return self.by_resource.get(("egress", node), 0.0)
+
+    def link_utilization(
+        self, seconds: float, capacities: Optional[Mapping[Hashable, float]] = None
+    ) -> Dict[Tuple[str, str], float]:
+        """Mean utilization per directed link over a ``seconds`` window.
+
+        Capacities default to each link's rated bandwidth; pass the
+        simulator's effective capacities (IOPS-capped SSD egress) to
+        match what the fair-share allocator actually enforced.
+        """
+        if seconds <= 0:
+            raise ValueError("seconds must be > 0")
+        out: Dict[Tuple[str, str], float] = {}
+        for key, nbytes in self.by_resource.items():
+            if not (isinstance(key, tuple) and key and key[0] == "link"):
+                continue
+            cap = None
+            if capacities is not None:
+                cap = capacities.get(key)
+            if cap is None:
+                cap = self.topo.link(key[1], key[2]).capacity
+            if cap > 0:
+                out[(key[1], key[2])] = nbytes / (cap * seconds)
+        return out
+
+    def export_metrics(
+        self,
+        seconds: float = 0.0,
+        capacities: Optional[Mapping[Hashable, float]] = None,
+    ) -> None:
+        """Publish the account to the active obs session (no-op when
+        telemetry is disabled): per-link and per-egress byte counters,
+        per-kind totals, and — when ``seconds`` is given — per-link
+        utilization gauges.
+        """
+        from repro import obs
+
+        if obs.active() is None:
+            return
+        for key, nbytes in self.by_resource.items():
+            if not (isinstance(key, tuple) and key):
+                continue
+            if key[0] == "link":
+                obs.add("traffic.link_bytes", nbytes, src=key[1], dst=key[2])
+            elif key[0] == "egress":
+                obs.add("traffic.egress_bytes", nbytes, node=key[1])
+            elif key[0] == "qpi_p2p":
+                obs.add("traffic.qpi_p2p_bytes", nbytes, src=key[1], dst=key[2])
+        for kind, nbytes in self.bytes_by_kind().items():
+            obs.add("traffic.kind_bytes", nbytes, kind=kind)
+        if seconds > 0:
+            for (src, dst), util in self.link_utilization(
+                seconds, capacities
+            ).items():
+                obs.set_gauge(
+                    "traffic.link_utilization", util, src=src, dst=dst
+                )
