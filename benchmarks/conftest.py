@@ -10,6 +10,13 @@ Set ``REPRO_JSONL=path`` to capture telemetry for every ``run_once``
 benchmark and append one structured run record per benchmark to that
 file — tagged with host machine spec, dataset/experiment, seed, and
 git SHA (schema in EXPERIMENTS.md).
+
+Placement-search knobs pass straight through the engine's env defaults:
+``REPRO_SEARCH_WORKERS=N`` scores candidates on N processes and
+``REPRO_SEARCH_PRUNE=1`` enables bound pruning (see
+:mod:`repro.core.search`); both are recorded in each benchmark's
+metadata so JSONL records from different engine settings stay
+distinguishable.
 """
 
 import os
@@ -18,6 +25,7 @@ import platform
 import pytest
 
 from repro import obs
+from repro.core import search
 
 
 @pytest.fixture(scope="session")
@@ -47,6 +55,8 @@ def bench_metadata(**extra) -> dict:
             "system": platform.system(),
         },
         scale_profile="full" if os.environ.get("REPRO_FULL") == "1" else "quick",
+        search_workers=search.default_workers(),
+        prune_bounds=search.default_prune_bounds(),
         **extra,
     )
 

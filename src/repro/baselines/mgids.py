@@ -19,6 +19,7 @@ from typing import Dict
 
 from repro.core.ddak import hash_place, make_bins
 from repro.graphs.datasets import ScaledDataset
+from repro.hardware.machines import classic_layouts
 from repro.runtime.system import GnnSystem
 from repro.simulator.memory import bam_page_cache_metadata_bytes
 
@@ -35,6 +36,11 @@ class MGidsSystem(GnnSystem):
     #: massively parallel misses its resident hot coverage is well below
     #: an optimal (pre-sampled) hot set of the same byte budget.
     gpu_cache_efficiency = 0.4
+
+    def default_placement(self, dataset, num_gpus, num_ssds):
+        # GIDS also has no placement optimizer; default to the best
+        # classic layout (c) so comparisons share the same hardware.
+        return classic_layouts(self.machine, num_gpus, num_ssds)["c"]
 
     def extra_gpu_reservations(
         self, dataset: ScaledDataset, num_gpus: int

@@ -15,6 +15,7 @@ stack; the paper extends it to multiple GPUs for the motivation study
 from __future__ import annotations
 
 from repro.core.ddak import hash_place, make_bins
+from repro.hardware.machines import classic_layouts
 from repro.runtime.system import GnnSystem
 
 
@@ -23,6 +24,11 @@ class MHyperionSystem(GnnSystem):
 
     name = "m-hyperion"
     shares_ssds = False
+
+    def default_placement(self, dataset, num_gpus, num_ssds):
+        # Hyperion runs whatever layout it is given; unprompted, it gets
+        # the best classic layout (c) — SSDs split next to the GPUs.
+        return classic_layouts(self.machine, num_gpus, num_ssds)["c"]
 
     def place_data(self, topo, dataset, hotness, plan, traffic=None):
         bins = make_bins(

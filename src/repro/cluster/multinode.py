@@ -39,12 +39,14 @@ from repro.core.ddak import (
     ddak_place,
     make_bins,
 )
+from repro import obs
 from repro.core.optimizer import (
     MomentOptimizer,
     OptimizerConfig,
     capacity_plan,
 )
 from repro.core.placement import Placement
+from repro.core.search import ScoredPlacement
 from repro.core.topology import Link, LinkKind, Node, NodeKind, Topology
 from repro.graphs.datasets import ScaledDataset
 from repro.hardware.machines import MachineSpec
@@ -196,11 +198,14 @@ class MultiNodeMoment:
         self.seed = seed
 
     def optimize(self, dataset: ScaledDataset) -> MultiNodePlan:
-        # 1. per-node hardware placement via the single-machine module
+        # 1. per-node hardware placement via the shared search engine.
+        # Each node issues one SearchRequest (via MomentOptimizer.search,
+        # so worker/pruning knobs apply per node); DDAK is *not* run per
+        # node — step 2 places data once, globally.
         builder = ClusterBuilder(nic_bw=self.nic_bw)
         node_throughput: Dict[str, float] = {}
         hotness = None
-        plans = []
+        winners: List[ScoredPlacement] = []
         for i, machine in enumerate(self.machines):
             optimizer = MomentOptimizer(
                 machine,
@@ -210,15 +215,18 @@ class MultiNodeMoment:
             )
             if hotness is None:
                 hotness = optimizer.estimate_hotness(dataset)
-            plan = optimizer.optimize(dataset, hotness=hotness)
-            plans.append(plan)
-            builder.add_node(machine, plan.placement, name=f"n{i}")
-            node_throughput[f"n{i}"] = plan.predicted_throughput
+            with obs.span(
+                "cluster.node_search", node=f"n{i}", machine=machine.name
+            ):
+                result = optimizer.search(dataset, hotness)
+            winners.append(result.best)
+            builder.add_node(machine, result.best.placement, name=f"n{i}")
+            node_throughput[f"n{i}"] = result.best.throughput
         topology = builder.build()
 
         # 2. global DDAK over the union of all nodes' bins
         bins: List[Bin] = []
-        for i, (machine, plan) in enumerate(zip(self.machines, plans)):
+        for i, (machine, best) in enumerate(zip(self.machines, winners)):
             cap = capacity_plan(
                 machine,
                 dataset,
@@ -228,11 +236,11 @@ class MultiNodeMoment:
                 ),
             )
             node_topo = namespace_topology(
-                machine.build(plan.placement), f"n{i}"
+                machine.build(best.placement), f"n{i}"
             )
             traffic = {
                 f"n{i}/{name}": rate
-                for name, rate in plan.prediction.storage_rate.items()
+                for name, rate in best.prediction.storage_rate.items()
             }
             node_bins = make_bins(
                 node_topo,

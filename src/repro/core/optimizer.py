@@ -26,22 +26,35 @@ import numpy as np
 
 from repro import obs
 from repro.core.ddak import DataPlacement, ddak_place, make_bins
-from repro.core.flowmodel import (
-    CPU_CLASS,
-    SSD_CLASS,
-    FlowPrediction,
-    TrafficDemand,
-    min_completion_time,
+from repro.core.flowmodel import FlowPrediction
+from repro.core.mcmf import McfPrediction
+from repro.core.placement import Placement
+from repro.core.search import (
+    ScoredPlacement,
+    SearchRequest,
+    SearchResult,
+    concrete_demand,
+    run_search,
+    scoring_demand,
 )
-from repro.core.mcmf import McfPrediction, multicommodity_min_time
-from repro.core.placement import Placement, enumerate_placements
-from repro.core.symmetry import dedupe_placements
-from repro.core.topology import NodeKind, Topology
+from repro.core.topology import Topology
 from repro.graphs.datasets import ScaledDataset
 from repro.hardware.machines import MachineSpec
 from repro.sampling.hotness import presample_hotness
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_fraction
+
+__all__ = [
+    "CapacityPlan",
+    "MomentOptimizer",
+    "MomentPlan",
+    "OptimizerConfig",
+    "ScoredPlacement",
+    "capacity_plan",
+    "concrete_demand",
+    "scoring_demand",
+    "tier_fractions",
+]
 
 
 @dataclass(frozen=True)
@@ -103,7 +116,18 @@ def tier_fractions(
     slots are one GPU's worth; the *partitioned* ablation multiplies by
     the GPU count (distinct content, peer reads cross the fabric).
     """
-    h = np.sort(np.asarray(hotness, dtype=np.float64))[::-1]
+    if feature_bytes <= 0:
+        raise ValueError(
+            f"tier_fractions: feature_bytes must be positive, got "
+            f"{feature_bytes!r} — cannot size cache slots"
+        )
+    hotness = np.asarray(hotness, dtype=np.float64)
+    if hotness.size == 0:
+        raise ValueError(
+            "tier_fractions: hotness vector is empty — the dataset has no "
+            "vertices to place"
+        )
+    h = np.sort(hotness)[::-1]
     total = h.sum()
     if total <= 0:
         return (0.0, 0.0, 1.0)
@@ -117,92 +141,8 @@ def tier_fractions(
     return (f_gpu, f_cpu, 1.0 - f_gpu - f_cpu)
 
 
-def scoring_demand(
-    topo: Topology,
-    fractions: Tuple[float, float, float],
-    bytes_per_gpu: float = 1e9,
-    gpu_cache_policy: str = "replicated",
-) -> TrafficDemand:
-    """Unit traffic demand used to score a candidate topology.
-
-    Every GPU demands ``bytes_per_gpu`` split across tiers per the
-    fractions.  Replicated GPU caches serve their share locally (free);
-    the partitioned ablation turns the non-own share into peer reads.
-    CPU and SSD shares use the flexible class demands so the max-flow
-    solver distributes them optimally across banks/drives.
-    """
-    f_gpu, f_cpu, f_ssd = fractions
-    gpus = topo.gpus()
-    n = len(gpus)
-    demand = TrafficDemand()
-    for gpu in gpus:
-        if gpu_cache_policy == "partitioned" and f_gpu > 0 and n > 1:
-            peers = [g for g in gpus if g != gpu]
-            peer_share = bytes_per_gpu * f_gpu * (len(peers) / n) / len(peers)
-            for peer in peers:
-                demand.add(f"{peer}:mem", gpu, peer_share)
-        if f_cpu > 0:
-            demand.add(CPU_CLASS, gpu, bytes_per_gpu * f_cpu)
-        if f_ssd > 0:
-            demand.add(SSD_CLASS, gpu, bytes_per_gpu * f_ssd)
-    return demand
-
-
-def concrete_demand(
-    topo: Topology,
-    fractions: Tuple[float, float, float],
-    storage_rate: Dict[str, float],
-    bytes_per_gpu: float = 1e9,
-    gpu_cache_policy: str = "replicated",
-) -> TrafficDemand:
-    """Concretise a scoring demand: each tier's share is split across
-    that tier's bins by the pass-1 max-flow weights, and every bin's
-    share fans out evenly over all GPUs (shared dataset)."""
-    f_gpu, f_cpu, f_ssd = fractions
-    gpus = topo.gpus()
-    n = len(gpus)
-    demand = TrafficDemand()
-
-    def spread(names, tier_fraction):
-        if not names or tier_fraction <= 0:
-            return
-        weights = np.array([max(storage_rate.get(b, 0.0), 0.0) for b in names])
-        if weights.sum() <= 0:
-            weights = np.ones(len(names))
-        weights = weights / weights.sum()
-        for name, w in zip(names, weights):
-            share = bytes_per_gpu * tier_fraction * w
-            for gpu in gpus:
-                demand.add(name, gpu, share)
-
-    spread(topo.ssds(), f_ssd)
-    spread(
-        sorted(m.name for m in topo.nodes_of_kind(NodeKind.CPU_MEM)), f_cpu
-    )
-    # partitioned-cache ablation: peer reads, even caches, even origins
-    if gpu_cache_policy == "partitioned":
-        for gpu in gpus:
-            peers = [g for g in gpus if g != gpu]
-            if peers and f_gpu > 0:
-                peer_share = (
-                    bytes_per_gpu * f_gpu * (len(peers) / n) / len(peers)
-                )
-                for peer in peers:
-                    demand.add(f"{peer}:mem", gpu, peer_share)
-    return demand
-
-
-@dataclass
-class ScoredPlacement:
-    """One scored hardware-placement candidate."""
-
-    placement: Placement
-    #: Pass-2 multicommodity throughput (bytes/s) — the ranking score.
-    throughput: float
-    #: Pass-1 flexible max-flow prediction (per-bin traffic targets).
-    prediction: FlowPrediction
-    #: Pass-2 multicommodity LP prediction (utilisation, bottlenecks).
-    mcf: "McfPrediction" = None
+# ``scoring_demand``, ``concrete_demand`` and ``ScoredPlacement`` moved
+# to :mod:`repro.core.search` (re-exported above for compatibility).
 
 
 @dataclass
@@ -225,6 +165,9 @@ class MomentPlan:
     #: Pass-2 multicommodity prediction for the winner.
     mcf: Optional["McfPrediction"] = None
 
+    #: Full engine result (stage counts, pruning/cache statistics).
+    search: Optional[SearchResult] = None
+
     @property
     def predicted_throughput(self) -> float:
         """The ranking (pass-2 multicommodity) throughput of the winner."""
@@ -236,16 +179,29 @@ class MomentPlan:
         """Multi-line human-readable plan description."""
         from repro.utils.units import fmt_rate
 
+        pass_label = (
+            "pass-2 multicommodity LP"
+            if self.mcf is not None
+            else "pass-1 max-flow"
+        )
         lines = [
             f"MomentPlan on {self.topology.name}",
             f"  placement: {self.placement!r}",
-            f"  predicted throughput: {fmt_rate(self.prediction.throughput)}",
+            f"  predicted throughput: "
+            f"{fmt_rate(self.predicted_throughput)} ({pass_label})",
             f"  tier fractions (gpu/cpu/ssd): "
             f"{self.fractions[0]:.2f}/{self.fractions[1]:.2f}/{self.fractions[2]:.2f}",
             f"  search space: {self.num_candidates} candidates, "
             f"{self.num_unique} after symmetry pruning",
             f"  bottlenecks: {', '.join(self.prediction.bottlenecks) or 'none'}",
         ]
+        if self.search is not None:
+            lines.append(
+                f"  search engine: workers={self.search.workers}, "
+                f"{self.search.num_lp_scored} LP-scored, "
+                f"{self.search.pruned_by_bound} pruned by bound, "
+                f"topology cache {self.search.cache_hits} hits"
+            )
         return "\n".join(lines)
 
 
@@ -270,6 +226,12 @@ class OptimizerConfig:
     lp_top_k: int = 48
     nvlink_pairs: Optional[Tuple[Tuple[int, int], ...]] = None
     seed: SeedLike = 0
+    #: Placement-scoring processes; None = the engine default
+    #: (``REPRO_SEARCH_WORKERS`` env / ``--search-workers`` CLI, else 1).
+    search_workers: Optional[int] = None
+    #: Skip LPs that provably cannot beat the current top-k floor;
+    #: None = the engine default (``REPRO_SEARCH_PRUNE`` env, else on).
+    prune_bounds: Optional[bool] = None
 
 
 class MomentOptimizer:
@@ -327,19 +289,79 @@ class MomentOptimizer:
         placement only scores well if that all-to-all pattern fits its
         fabric.  Pass 2's throughput ranks candidates.
         """
-        policy = self.config.gpu_cache_policy
-        topo = self.machine.build(
-            placement, nvlink_pairs=self.config.nvlink_pairs
+        from repro.core.search import FlexibleMaxFlowScorer, MulticommodityScorer
+
+        cfg = self.config
+        coarse = FlexibleMaxFlowScorer(
+            fractions=fractions,
+            gpu_cache_policy=cfg.gpu_cache_policy,
+            rel_tol=cfg.score_rel_tol,
         )
-        flexible = scoring_demand(topo, fractions, gpu_cache_policy=policy)
-        pass1 = min_completion_time(
-            topo, flexible, rel_tol=self.config.score_rel_tol
+        exact = MulticommodityScorer(
+            fractions=fractions, gpu_cache_policy=cfg.gpu_cache_policy
         )
-        concrete = concrete_demand(
-            topo, fractions, pass1.storage_rate, gpu_cache_policy=policy
-        )
-        pass2 = multicommodity_min_time(topo, concrete)
+        topo = self.machine.build(placement, nvlink_pairs=cfg.nvlink_pairs)
+        pass1 = coarse.score(topo, placement)
+        pass2 = exact.score(topo, placement, pass1)
         return ScoredPlacement(placement, pass2.throughput, pass1, pass2)
+
+    def plan_fractions(
+        self, dataset: ScaledDataset, hotness: np.ndarray
+    ) -> Tuple[Tuple[float, float, float], CapacityPlan]:
+        """Tier fractions + capacity budgets for one dataset/hotness."""
+        cfg = self.config
+        plan = capacity_plan(
+            self.machine,
+            dataset,
+            gpu_cache_fraction=cfg.gpu_cache_fraction,
+            cpu_cache_vertex_fraction=cfg.cpu_cache_vertex_fraction,
+        )
+        fractions = tier_fractions(
+            hotness,
+            dataset.feature_bytes,
+            plan,
+            self.num_gpus,
+            num_banks=len(self.machine.chassis.memories),
+            gpu_cache_policy=cfg.gpu_cache_policy,
+        )
+        return fractions, plan
+
+    def search_request(
+        self,
+        fractions: Tuple[float, float, float],
+        candidates: Optional[Sequence[Placement]] = None,
+    ) -> SearchRequest:
+        """The :class:`repro.core.search.SearchRequest` this optimizer's
+        configuration corresponds to (the engine does the actual work)."""
+        cfg = self.config
+        return SearchRequest(
+            machine=self.machine,
+            num_gpus=self.num_gpus,
+            num_ssds=self.num_ssds,
+            fractions=fractions,
+            gpu_cache_policy=cfg.gpu_cache_policy,
+            nvlink_pairs=cfg.nvlink_pairs,
+            score_rel_tol=cfg.score_rel_tol,
+            lp_top_k=max(1, cfg.lp_top_k),
+            top_k=max(1, cfg.report_top_k),
+            workers=cfg.search_workers,
+            prune_bounds=cfg.prune_bounds,
+            candidates=tuple(candidates) if candidates is not None else None,
+        )
+
+    def search(
+        self,
+        dataset: ScaledDataset,
+        hotness: np.ndarray,
+        candidates: Optional[Sequence[Placement]] = None,
+    ) -> SearchResult:
+        """Run only the hardware-placement search (no DDAK).
+
+        Multi-node and experiment drivers use this when they place data
+        globally themselves; :meth:`optimize` builds on the same path.
+        """
+        fractions, _ = self.plan_fractions(dataset, hotness)
+        return run_search(self.search_request(fractions, candidates))
 
     def optimize(
         self,
@@ -351,6 +373,11 @@ class MomentOptimizer:
 
         ``candidates`` restricts the hardware search (e.g. to a fixed
         placement, for data-placement-only runs à la Section 4.5).
+
+        The placement search itself is delegated to
+        :mod:`repro.core.search` — this method only prepares the request
+        (hotness, capacities, tier fractions) and post-processes the
+        winner (DDAK data placement).
 
         Search time comes from the ``optimizer.optimize`` obs span —
         :attr:`MomentPlan.optimize_seconds` is its duration (spans
@@ -367,79 +394,11 @@ class MomentOptimizer:
             if hotness is None:
                 with obs.span("optimizer.hotness"):
                     hotness = self.estimate_hotness(dataset)
-            plan = capacity_plan(
-                self.machine,
-                dataset,
-                gpu_cache_fraction=cfg.gpu_cache_fraction,
-                cpu_cache_vertex_fraction=cfg.cpu_cache_vertex_fraction,
-            )
-            num_banks = len(self.machine.chassis.memories)
-            fractions = tier_fractions(
-                hotness,
-                dataset.feature_bytes,
-                plan,
-                self.num_gpus,
-                num_banks=num_banks,
-                gpu_cache_policy=cfg.gpu_cache_policy,
-            )
-
-            if candidates is None:
-                with obs.span("optimizer.enumerate") as sp:
-                    all_candidates = enumerate_placements(
-                        self.machine.chassis, self.num_gpus, self.num_ssds
-                    )
-                    sp.set(candidates=len(all_candidates))
-                with obs.span("optimizer.dedupe") as sp:
-                    unique = dedupe_placements(
-                        all_candidates, self.machine.chassis
-                    )
-                    sp.set(unique=len(unique))
-            else:
-                all_candidates = list(candidates)
-                unique = all_candidates
-            if not unique:
-                raise ValueError(
-                    f"no feasible placement of {self.num_gpus} GPUs / "
-                    f"{self.num_ssds} SSDs on {self.machine.name}"
-                )
-            obs.add("optimizer.candidates", len(all_candidates))
-            obs.add("optimizer.unique", len(unique))
-
-            # Stage 1: cheap flexible max-flow score for every candidate;
-            # Stage 2: exact multicommodity LP on the most promising ones.
-            prelim = []
-            with obs.span("optimizer.score.pass1", candidates=len(unique)):
-                for p in unique:
-                    topo_p = self.machine.build(
-                        p, nvlink_pairs=cfg.nvlink_pairs
-                    )
-                    flexible = scoring_demand(
-                        topo_p, fractions, gpu_cache_policy=cfg.gpu_cache_policy
-                    )
-                    pass1 = min_completion_time(
-                        topo_p, flexible, rel_tol=cfg.score_rel_tol
-                    )
-                    prelim.append((pass1.throughput, p, pass1))
-            prelim.sort(key=lambda t: -t[0])
-            finalists = prelim[: max(1, cfg.lp_top_k)]
-            scored = []
-            with obs.span("optimizer.score.pass2", finalists=len(finalists)):
-                for _, p, pass1 in finalists:
-                    topo_p = self.machine.build(
-                        p, nvlink_pairs=cfg.nvlink_pairs
-                    )
-                    concrete = concrete_demand(
-                        topo_p,
-                        fractions,
-                        pass1.storage_rate,
-                        gpu_cache_policy=cfg.gpu_cache_policy,
-                    )
-                    pass2 = multicommodity_min_time(topo_p, concrete)
-                    scored.append(
-                        ScoredPlacement(p, pass2.throughput, pass1, pass2)
-                    )
-            scored.sort(key=lambda s: -s.throughput)
-            best = scored[0]
+            fractions, plan = self.plan_fractions(dataset, hotness)
+            result = run_search(self.search_request(fractions, candidates))
+            obs.add("optimizer.candidates", result.num_candidates)
+            obs.add("optimizer.unique", result.num_unique)
+            best = result.best
 
             topo = self.machine.build(
                 best.placement, nvlink_pairs=cfg.nvlink_pairs
@@ -468,9 +427,10 @@ class MomentOptimizer:
             prediction=best.prediction,
             fractions=fractions,
             hotness=hotness,
-            scored=scored[: cfg.report_top_k],
-            num_candidates=len(all_candidates),
-            num_unique=len(unique),
+            scored=result.scored,
+            num_candidates=result.num_candidates,
+            num_unique=result.num_unique,
             optimize_seconds=root.duration,
             mcf=best.mcf,
+            search=result,
         )

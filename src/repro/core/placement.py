@@ -346,19 +346,23 @@ def _compositions(total: int, caps: Sequence[int]) -> Iterator[Tuple[int, ...]]:
             yield (first,) + rest
 
 
-def enumerate_placements(
+def iter_placements(
     chassis: Chassis,
     num_gpus: int,
     num_ssds: int,
-) -> List[Placement]:
-    """All feasible placements of the device pool, before symmetry pruning.
+) -> Iterator[Placement]:
+    """Stream all feasible placements of the device pool, one at a time.
 
     Respects per-group slot units, dual-width GPU slots, and device-kind
     restrictions ("Considering Physical Slot Constraints" in the paper).
+    Candidates are yielded in a deterministic order (GPU compositions
+    outer, SSD compositions inner, both in slot-group declaration
+    order), so downstream consumers can use the enumeration index as a
+    stable tie-breaker.  The search engine consumes this generator
+    directly and prunes symmetric duplicates as they are produced.
     """
     groups = chassis.slot_groups
     gpu_caps = [g.capacity_for(GPU) for g in groups]
-    placements: List[Placement] = []
     for gpu_counts in _compositions(num_gpus, gpu_caps):
         # Remaining units per group after GPUs are seated.
         ssd_caps = []
@@ -370,5 +374,13 @@ def enumerate_placements(
                 g.name: {GPU: ng, SSD: ns}
                 for g, ng, ns in zip(groups, gpu_counts, ssd_counts)
             }
-            placements.append(Placement(chassis, counts))
-    return placements
+            yield Placement(chassis, counts)
+
+
+def enumerate_placements(
+    chassis: Chassis,
+    num_gpus: int,
+    num_ssds: int,
+) -> List[Placement]:
+    """All feasible placements, materialised (see :func:`iter_placements`)."""
+    return list(iter_placements(chassis, num_gpus, num_ssds))

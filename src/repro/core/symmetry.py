@@ -198,6 +198,39 @@ def _preimage(sym: Dict[str, str], target: str) -> str:
     raise KeyError(target)
 
 
+class CanonicalFilter:
+    """Incremental symmetry dedupe: admit one placement per orbit.
+
+    Computes the chassis automorphisms once, then filters a *stream* of
+    placements — :meth:`admit` returns the orbit-canonical key the first
+    time an orbit is seen and ``None`` for every later member, so the
+    search engine can prune candidates as they are produced instead of
+    materialising the full enumeration first.
+    """
+
+    def __init__(self, chassis: Chassis) -> None:
+        self.chassis = chassis
+        self.symmetries = slot_group_symmetries(chassis)
+        self._seen: set = set()
+
+    @property
+    def num_admitted(self) -> int:
+        """Distinct orbits admitted so far."""
+        return len(self._seen)
+
+    def key(self, placement: Placement) -> Tuple:
+        """Orbit-canonical key of ``placement`` (no admission)."""
+        return canonical_key(placement, self.symmetries)
+
+    def admit(self, placement: Placement) -> "Tuple | None":
+        """The canonical key if this orbit is new, else ``None``."""
+        key = self.key(placement)
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        return key
+
+
 def dedupe_placements(
     placements: Sequence[Placement],
     chassis: Chassis = None,
@@ -210,12 +243,5 @@ def dedupe_placements(
     if not placements:
         return []
     chassis = chassis or placements[0].chassis
-    syms = slot_group_symmetries(chassis)
-    seen = set()
-    out: List[Placement] = []
-    for p in placements:
-        key = canonical_key(p, syms)
-        if key not in seen:
-            seen.add(key)
-            out.append(p)
-    return out
+    filt = CanonicalFilter(chassis)
+    return [p for p in placements if filt.admit(p) is not None]

@@ -6,11 +6,14 @@ Usage::
     python -m repro.experiments fig10      # run one (full settings)
     python -m repro.experiments all --quick
     python -m repro.experiments fig10 --trace --json-out runs.jsonl
+    python -m repro.experiments fig10 --search-workers 4 --prune-bounds
 
 ``--trace`` prints the telemetry report (span tree, tier breakdown,
 busiest links) after each experiment; ``--json-out`` appends one
 structured JSONL run record per experiment (schema documented in
 EXPERIMENTS.md).  Either flag enables telemetry for the run.
+``--search-workers`` / ``--prune-bounds`` set the placement-search
+engine's process-wide defaults (see :mod:`repro.core.search`).
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import argparse
 import sys
 
 from repro import obs
+from repro.core import search
 from repro.experiments.registry import list_experiments, run_experiment
 
 
@@ -49,7 +53,27 @@ def main(argv=None) -> int:
         help="enable telemetry and append one JSONL run record per "
         "experiment to PATH",
     )
+    parser.add_argument(
+        "--search-workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="placement-search scoring processes (default: "
+        "$REPRO_SEARCH_WORKERS or 1; serial and parallel runs pick "
+        "identical winners)",
+    )
+    parser.add_argument(
+        "--prune-bounds",
+        action="store_true",
+        help="skip pass-2 LP scoring of candidates whose pass-1 bound "
+        "cannot win (preserves the winner's throughput to 1e-9 relative)",
+    )
     args = parser.parse_args(argv)
+
+    if args.search_workers is not None:
+        search.set_default_workers(args.search_workers)
+    if args.prune_bounds:
+        search.set_default_prune_bounds(True)
 
     if not args.experiment:
         print("available experiments:")

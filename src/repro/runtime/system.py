@@ -26,6 +26,7 @@ from repro.core.optimizer import (
     capacity_plan,
 )
 from repro.core.placement import Placement
+from repro.core.search import SearchResult
 from repro.core.topology import Topology
 from repro.graphs.datasets import ScaledDataset
 from repro.hardware.machines import MachineSpec
@@ -57,6 +58,9 @@ class SystemResult:
     plan: Optional[MomentPlan] = None
     placement: Optional[Placement] = None
     data_placement: Optional[DataPlacement] = None
+    #: Placement-search outcome (candidate/prune/cache counts) when the
+    #: system ran the search engine (None for fixed-layout baselines).
+    search: Optional[SearchResult] = None
     #: Spans + metric deltas recorded during this run (None when
     #: telemetry was disabled); see :class:`repro.obs.RunScope`.
     telemetry: Optional[Dict] = None
@@ -176,6 +180,17 @@ class GnnSystem:
         """Produce the vertex-to-bin data placement for this system."""
         raise NotImplementedError
 
+    def default_placement(
+        self, dataset: ScaledDataset, num_gpus: int, num_ssds: int
+    ) -> Optional[Placement]:
+        """The layout this system runs on when none is given.
+
+        Baselines that ship a fixed layout (M-Hyperion, M-GIDS) override
+        this; the base system has no default and :meth:`choose_placement`
+        raises without an explicit placement.
+        """
+        return None
+
     def choose_placement(
         self,
         dataset: ScaledDataset,
@@ -185,6 +200,8 @@ class GnnSystem:
         nvlink_pairs,
     ) -> Tuple[Placement, Optional[MomentPlan]]:
         """Pick the hardware placement (and optional MomentPlan)."""
+        if placement is None:
+            placement = self.default_placement(dataset, num_gpus, num_ssds)
         if placement is None:
             raise ValueError(f"{self.name} requires an explicit placement")
         return placement, None
@@ -329,6 +346,7 @@ class GnnSystem:
         result.plan = plan
         result.placement = chosen
         result.data_placement = data_placement
+        result.search = plan.search if plan is not None else None
         return result
 
 

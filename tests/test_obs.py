@@ -395,9 +395,12 @@ class TestSimulatorTelemetry:
         assert len(root) == 1
         assert plan.optimize_seconds == pytest.approx(root[0].duration)
         names = {s.name for s in tel.tracer.spans}
-        assert {"optimizer.score.pass1", "optimizer.score.pass2",
+        # the scoring passes now run inside the search engine's spans
+        assert {"search.run", "search.pass1", "search.pass2",
                 "optimizer.ddak"} <= names
         assert tel.registry.counter("optimizer.unique").value == \
+            plan.num_unique
+        assert tel.registry.counter("search.unique").value == \
             plan.num_unique
         # and with telemetry off the number is still populated
         plan2 = opt.optimize(dataset)

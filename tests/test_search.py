@@ -1,0 +1,267 @@
+"""Tests for the staged placement-search engine (repro.core.search).
+
+The load-bearing guarantee is *equivalence*: the streaming, parallel,
+funnelled engine must reproduce the pre-engine serial path — enumerate
+everything, dedupe, pass-1 score everything, stable-sort, LP the top
+``lp_top_k``, stable-sort — bit for bit.  ``_reference_search`` below
+implements that original recipe directly and every equivalence test
+compares the engine against it.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import (
+    CapacityPlan,
+    MomentOptimizer,
+    tier_fractions,
+)
+from repro.core.placement import enumerate_placements
+from repro.core.search import (
+    EnumeratedSource,
+    FlexibleMaxFlowScorer,
+    MulticommodityScorer,
+    ScoredPlacement,
+    SearchRequest,
+    default_prune_bounds,
+    default_workers,
+    run_search,
+    set_default_prune_bounds,
+    set_default_workers,
+)
+from repro.core.symmetry import dedupe_placements
+from repro.graphs.datasets import IGB_HOM
+from repro.hardware.machines import machine_a, machine_b
+
+FRACTIONS = (0.35, 0.15, 0.5)
+LP_TOP_K = 12
+TOP_K = 5
+
+CONFIGS = [
+    (machine_a, 2, 4),
+    (machine_a, 4, 4),
+    (machine_b, 2, 4),
+    (machine_b, 4, 4),
+]
+
+
+def _reference_search(machine, num_gpus, num_ssds, fractions,
+                      lp_top_k=LP_TOP_K, top_k=TOP_K):
+    """The pre-engine serial recipe, reimplemented verbatim.
+
+    Fully materialised enumeration, batch dedupe, pass-1 on every unique
+    candidate, stable descending sort, pass-2 LP on the top ``lp_top_k``,
+    stable descending sort.  Returns (ranked rows, num_candidates,
+    num_unique).
+    """
+    candidates = enumerate_placements(machine.chassis, num_gpus, num_ssds)
+    unique = dedupe_placements(candidates, machine.chassis)
+    coarse = FlexibleMaxFlowScorer(fractions=fractions)
+    exact = MulticommodityScorer(fractions=fractions)
+    pass1 = []
+    for placement in unique:
+        topo = machine.build(placement)
+        pass1.append((placement, topo, coarse.score(topo, placement)))
+    pass1.sort(key=lambda row: -row[2].throughput)  # stable: ties keep order
+    rows = []
+    for placement, topo, p1 in pass1[:lp_top_k]:
+        mcf = exact.score(topo, placement, p1)
+        rows.append(ScoredPlacement(placement, mcf.throughput, p1, mcf))
+    rows.sort(key=lambda row: -row.throughput)  # stable
+    return rows[:top_k], len(candidates), len(unique)
+
+
+def _request(machine, num_gpus, num_ssds, **overrides):
+    base = dict(
+        machine=machine,
+        num_gpus=num_gpus,
+        num_ssds=num_ssds,
+        fractions=FRACTIONS,
+        lp_top_k=LP_TOP_K,
+        top_k=TOP_K,
+        workers=1,
+        prune_bounds=False,
+    )
+    base.update(overrides)
+    return SearchRequest(**base)
+
+
+def _ranking(scored):
+    return [(row.placement.as_tuple(), row.throughput) for row in scored]
+
+
+class TestEquivalence:
+    """Engine == pre-engine serial path, on machines A and B, 2 & 4 GPUs."""
+
+    @pytest.mark.parametrize("make_machine,num_gpus,num_ssds", CONFIGS)
+    def test_matches_reference(self, make_machine, num_gpus, num_ssds):
+        machine = make_machine()
+        ref_rows, ref_candidates, ref_unique = _reference_search(
+            machine, num_gpus, num_ssds, FRACTIONS
+        )
+        result = run_search(_request(machine, num_gpus, num_ssds))
+        assert result.num_candidates == ref_candidates
+        assert result.num_unique == ref_unique
+        # same winner: placement and exact throughput
+        assert result.best.placement.as_tuple() == ref_rows[0].placement.as_tuple()
+        assert result.best.throughput == ref_rows[0].throughput
+        # same top-k ordering, placement by placement
+        assert _ranking(result.scored) == _ranking(ref_rows)
+
+    def test_parallel_matches_serial(self):
+        machine = machine_b()
+        serial = run_search(_request(machine, 2, 4))
+        parallel = run_search(_request(machine, 2, 4, workers=2))
+        assert parallel.workers == 2
+        assert _ranking(parallel.scored) == _ranking(serial.scored)
+        assert parallel.num_candidates == serial.num_candidates
+        assert parallel.num_unique == serial.num_unique
+
+    def test_parallel_pruning_matches_serial_pruning(self):
+        """Prune decisions are wave-based, never worker-dependent."""
+        machine = machine_b()
+        serial = run_search(_request(machine, 2, 4, prune_bounds=True))
+        parallel = run_search(
+            _request(machine, 2, 4, workers=2, prune_bounds=True)
+        )
+        assert serial.pruned_by_bound == parallel.pruned_by_bound
+        assert _ranking(parallel.scored) == _ranking(serial.scored)
+
+    def test_pruning_fires_and_keeps_winner(self):
+        machine = machine_b()
+        off = run_search(_request(machine, 2, 4))
+        on = run_search(_request(machine, 2, 4, prune_bounds=True))
+        assert on.pruned_by_bound > 0
+        assert on.num_lp_scored + on.pruned_by_bound == off.num_lp_scored
+        rel = abs(on.best.throughput - off.best.throughput) / off.best.throughput
+        assert rel <= 1e-9
+
+
+class TestPruneNeverDropsArgmax:
+    """Property: bound pruning preserves the winning throughput."""
+
+    @given(
+        machine_idx=st.integers(min_value=0, max_value=1),
+        num_gpus=st.integers(min_value=1, max_value=2),
+        num_ssds=st.integers(min_value=1, max_value=4),
+        f_gpu=st.floats(min_value=0.0, max_value=0.8),
+        f_cpu=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_prune_on_equals_prune_off(
+        self, machine_idx, num_gpus, num_ssds, f_gpu, f_cpu
+    ):
+        machine = (machine_a, machine_b)[machine_idx]()
+        total = f_gpu + f_cpu
+        if total > 0.9:
+            f_gpu, f_cpu = 0.9 * f_gpu / total, 0.9 * f_cpu / total
+        fractions = (f_gpu, f_cpu, 1.0 - f_gpu - f_cpu)
+        off = run_search(
+            _request(machine, num_gpus, num_ssds, fractions=fractions)
+        )
+        on = run_search(
+            _request(
+                machine, num_gpus, num_ssds,
+                fractions=fractions, prune_bounds=True,
+            )
+        )
+        rel = abs(on.best.throughput - off.best.throughput) / (
+            off.best.throughput
+        )
+        assert rel <= 1e-9
+
+
+class TestStreamingSource:
+    @pytest.mark.parametrize("make_machine", [machine_a, machine_b])
+    def test_incremental_dedupe_matches_batch(self, make_machine):
+        machine = make_machine()
+        source = EnumeratedSource(machine.chassis, 2, 4)
+        streamed = [p for p, _key in source.stream()]
+        batch = dedupe_placements(
+            enumerate_placements(machine.chassis, 2, 4), machine.chassis
+        )
+        assert [p.as_tuple() for p in streamed] == [
+            p.as_tuple() for p in batch
+        ]
+        assert source.num_seen == len(
+            enumerate_placements(machine.chassis, 2, 4)
+        )
+
+    def test_infeasible_request_raises(self):
+        machine = machine_a()
+        with pytest.raises(ValueError, match="no feasible placement"):
+            run_search(_request(machine, 64, 64))
+
+
+class TestTopologyCache:
+    def test_pass2_reuses_pass1_topologies(self):
+        result = run_search(_request(machine_a(), 2, 4))
+        # pass 1 builds each unique candidate once (all misses); pass 2
+        # re-reads the finalists from the cache (all hits).
+        assert result.cache_misses == result.num_unique
+        assert result.cache_hits == result.num_lp_scored
+        assert result.cache_hits > 0
+
+
+class TestKnobDefaults:
+    def test_set_default_workers_roundtrip(self):
+        try:
+            set_default_workers(3)
+            assert default_workers() == 3
+        finally:
+            set_default_workers(None)
+        assert default_workers() >= 1
+
+    def test_set_default_prune_roundtrip(self):
+        try:
+            set_default_prune_bounds(True)
+            assert default_prune_bounds() is True
+        finally:
+            set_default_prune_bounds(None)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return IGB_HOM.build(scale=IGB_HOM.default_scale * 40, seed=0)
+
+
+class TestOptimizerIntegration:
+    def test_optimize_carries_search_result(self, dataset):
+        opt = MomentOptimizer(machine_a(), num_gpus=2, num_ssds=4)
+        plan = opt.optimize(dataset)
+        assert plan.search is not None
+        assert plan.search.num_candidates == plan.num_candidates
+        assert plan.search.num_unique == plan.num_unique
+        assert plan.search.best.throughput == plan.predicted_throughput
+
+    def test_summary_labels_ranking_pass(self, dataset):
+        opt = MomentOptimizer(machine_a(), num_gpus=2, num_ssds=4)
+        plan = opt.optimize(dataset)
+        text = plan.summary()
+        assert "pass-2 multicommodity LP" in text
+        assert "search engine: workers=" in text
+        downgraded = dataclasses.replace(plan, mcf=None, search=None)
+        assert "pass-1 max-flow" in downgraded.summary()
+
+
+class TestTierFractionGuards:
+    def _plan(self):
+        return CapacityPlan(
+            gpu_cache_bytes=1e9, cpu_cache_bytes=1e9,
+            ssd_capacity_bytes=1e10,
+        )
+
+    def test_zero_feature_bytes_raises(self):
+        with pytest.raises(ValueError, match="feature_bytes"):
+            tier_fractions(np.ones(100), 0, self._plan(), num_gpus=2)
+
+    def test_negative_feature_bytes_raises(self):
+        with pytest.raises(ValueError, match="feature_bytes"):
+            tier_fractions(np.ones(100), -4, self._plan(), num_gpus=2)
+
+    def test_empty_hotness_raises(self):
+        with pytest.raises(ValueError, match="hotness"):
+            tier_fractions(np.array([]), 4, self._plan(), num_gpus=2)

@@ -83,9 +83,16 @@ class TestMHyperion:
             if b.startswith("ssd"):
                 assert b in binding[g]
 
-    def test_requires_placement(self, machine, ig):
+    def test_defaults_to_classic_layout_c(self, machine, ig, placement_c):
+        r = MHyperionSystem(machine).run(ig, sample_batches=2)
+        assert r.ok
+        assert r.placement.as_tuple() == placement_c.as_tuple()
+
+    def test_base_system_requires_placement(self, machine, ig):
+        from repro.runtime.system import GnnSystem
+
         with pytest.raises(ValueError):
-            MHyperionSystem(machine).run(ig, sample_batches=2)
+            GnnSystem(machine).run(ig, sample_batches=2)
 
 
 class TestMGids:
