@@ -19,9 +19,8 @@ from repro.costs.monetary import (
     cost_per_epoch,
     tco_comparison,
 )
+from repro import MomentSystem, RunSpec, classic_layouts, machine_a, run
 from repro.graphs.datasets import IGB_HOM, PAPER100M
-from repro.hardware.machines import classic_layouts, machine_a
-from repro.runtime.system import MomentSystem
 from repro.utils.report import Table
 
 
@@ -37,7 +36,7 @@ def main() -> None:
     for spec in (PAPER100M, IGB_HOM):
         ds = spec.build(scale=spec.default_scale * 16, seed=0)
 
-        moment = MomentSystem(machine).run(ds, sample_batches=5)
+        moment = run(MomentSystem(machine), RunSpec(dataset=ds, sample_batches=5))
         usd = cost_per_epoch(
             tco["machine_a_b_usd"], FIVE_YEARS_H, moment.paper_epoch_seconds
         )
@@ -47,7 +46,7 @@ def main() -> None:
         )
 
         mgids = MGidsSystem(machine).run(
-            ds, placement=stock_layout, sample_batches=5
+            RunSpec(dataset=ds, placement=stock_layout, sample_batches=5)
         )
         if mgids.ok:
             usd = cost_per_epoch(
@@ -61,7 +60,7 @@ def main() -> None:
         else:
             table.add_row([spec.key, "m-gids", "X", "X", "-"])
 
-        dgl = DistDglSystem().run(ds, sample_batches=5)
+        dgl = DistDglSystem().run(RunSpec(dataset=ds, sample_batches=5))
         if dgl.ok:
             usd = cost_per_epoch(
                 tco["cluster_c_usd"], FIVE_YEARS_H, dgl.epoch_seconds

@@ -15,11 +15,10 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+from repro import MomentSystem, RunSpec, machine_a, run
 from repro.core.optimizer import MomentOptimizer
 from repro.gnn import Trainer, graphsage, make_planted_labels
 from repro.graphs.datasets import tiny_dataset
-from repro.hardware.machines import machine_a
-from repro.runtime.system import MomentSystem
 from repro.utils.units import fmt_rate
 
 
@@ -62,7 +61,7 @@ def main() -> None:
     # 3. simulate an epoch on the optimized machine
     # ------------------------------------------------------------------
     print("\n=== 3. simulated epoch on the chosen placement ===")
-    result = MomentSystem(machine).run(ds, sample_batches=5)
+    result = run(MomentSystem(machine), RunSpec(dataset=ds, sample_batches=5))
     epoch = result.epoch
     print(f"  epoch time:        {epoch.paper_epoch_seconds * 1e3:.1f} ms "
           f"({epoch.num_steps} steps)")

@@ -10,10 +10,9 @@ Run:  python examples/train_igb_multi_gpu.py  [--full]
 
 import sys
 
+from repro import MomentSystem, RunSpec, classic_layouts, machine_a, run
 from repro.graphs.datasets import IGB_HOM
-from repro.hardware.machines import classic_layouts, machine_a
 from repro.baselines.mhyperion import MHyperionSystem
-from repro.runtime.system import MomentSystem
 from repro.utils.report import Table
 from repro.utils.units import fmt_rate
 
@@ -33,7 +32,8 @@ def main() -> None:
 
     baseline = MHyperionSystem(machine)
     for key, placement in classic_layouts(machine).items():
-        r = baseline.run(ds, placement=placement, sample_batches=5)
+        r = baseline.run(RunSpec(dataset=ds, placement=placement,
+                                 sample_batches=5))
         e = r.epoch
         table.add_row(
             [
@@ -46,7 +46,7 @@ def main() -> None:
             ]
         )
 
-    moment = MomentSystem(machine).run(ds, sample_batches=5)
+    moment = run(MomentSystem(machine), RunSpec(dataset=ds, sample_batches=5))
     e = moment.epoch
     table.add_row(
         [

@@ -8,9 +8,8 @@ EXPERIMENTS.md for the per-figure reproduction record.
 
 Quickstart::
 
-    from repro import machine_a, MomentOptimizer
-    machine = machine_a()
-    plan = MomentOptimizer(machine, num_gpus=4, num_ssds=8).optimize(dataset)
+    from repro import MomentSystem, RunSpec, machine_a, run
+    result = run(MomentSystem(machine_a()), RunSpec(dataset=dataset))
 """
 
 from repro.core import (
@@ -34,7 +33,10 @@ from repro.hardware import (
     moment_paper_layout_b,
 )
 from repro.core.optimizer import MomentOptimizer, MomentPlan, OptimizerConfig
+from repro.faults import FaultSchedule
+from repro.runtime.spec import RunSpec
 from repro.runtime.system import MomentSystem, SystemResult
+from repro.api import run
 
 __version__ = "1.0.0"
 
@@ -60,5 +62,8 @@ __all__ = [
     "OptimizerConfig",
     "MomentSystem",
     "SystemResult",
+    "RunSpec",
+    "FaultSchedule",
+    "run",
     "__version__",
 ]

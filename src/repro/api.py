@@ -1,0 +1,29 @@
+"""Top-level run facade: ``repro.api.run(system, spec)``.
+
+One function, two values in, one value out — the stable surface for
+scripts, benchmarks, and the experiments CLI.  Everything a run needs
+travels in the :class:`~repro.runtime.spec.RunSpec`; everything it
+produced comes back as a :class:`~repro.runtime.system.SystemResult`
+(serializable via :meth:`SystemResult.to_dict`).
+
+>>> from repro import MomentSystem, RunSpec, machine_a
+>>> from repro.api import run
+>>> result = run(MomentSystem(machine_a()), RunSpec(dataset=ds))
+"""
+
+from __future__ import annotations
+
+from repro.runtime.spec import RunSpec
+from repro.runtime.system import GnnSystem, SystemResult
+
+__all__ = ["run", "RunSpec", "SystemResult"]
+
+
+def run(system: GnnSystem, spec: RunSpec) -> SystemResult:
+    """Run one epoch of ``system`` as described by ``spec``."""
+    if not isinstance(spec, RunSpec):
+        raise TypeError(
+            f"repro.api.run takes a RunSpec, got {type(spec).__name__}; "
+            "the legacy kwargs form lives on GnnSystem.run"
+        )
+    return system.run(spec)

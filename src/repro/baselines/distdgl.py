@@ -104,11 +104,22 @@ class DistDglSystem:
 
     def run(
         self,
-        dataset: ScaledDataset,
+        dataset,
         model: str = "graphsage",
         fanouts: Tuple[int, ...] = (25, 10),
         sample_batches: int = 10,
     ) -> DistDglResult:
+        """Run one epoch; accepts a :class:`~repro.RunSpec` or the
+        legacy loose arguments (DistDGL ignores the spec's placement
+        and GPU-count fields — the cluster shape is fixed)."""
+        from repro.runtime.spec import RunSpec
+
+        if isinstance(dataset, RunSpec):
+            spec = dataset
+            dataset = spec.dataset
+            model = spec.model
+            fanouts = spec.fanouts
+            sample_batches = spec.sample_batches
         result = DistDglResult(
             system=self.name,
             dataset=dataset.spec.key,

@@ -197,14 +197,26 @@ class MultiNodeMoment:
         self.config = config or OptimizerConfig()
         self.seed = seed
 
-    def optimize(self, dataset: ScaledDataset) -> MultiNodePlan:
+    def optimize(self, dataset) -> MultiNodePlan:
+        """Co-optimize the cluster for ``dataset``.
+
+        Also accepts a :class:`~repro.RunSpec` (only its ``dataset``
+        and ``hotness`` fields apply at cluster level — per-node GPU
+        and SSD counts are fixed by the constructor).
+        """
+        from repro.runtime.spec import RunSpec
+
+        preset_hotness = None
+        if isinstance(dataset, RunSpec):
+            preset_hotness = dataset.hotness
+            dataset = dataset.dataset
         # 1. per-node hardware placement via the shared search engine.
         # Each node issues one SearchRequest (via MomentOptimizer.search,
         # so worker/pruning knobs apply per node); DDAK is *not* run per
         # node — step 2 places data once, globally.
         builder = ClusterBuilder(nic_bw=self.nic_bw)
         node_throughput: Dict[str, float] = {}
-        hotness = None
+        hotness = preset_hotness
         winners: List[ScoredPlacement] = []
         for i, machine in enumerate(self.machines):
             optimizer = MomentOptimizer(

@@ -23,7 +23,7 @@ multi-node driver, baselines and experiments) all speak the same
    ``prune_bounds`` on, a candidate whose pass-1 upper bound cannot
    beat the current best-``top_k`` floor by more than
    :data:`PRUNE_REL_SLACK` skips the LP — the winner's throughput is
-   preserved to within one part in 10⁹.
+   preserved to within :data:`PRUNE_EQUIV_TOL` (LP-solver noise).
 
 Scoring runs on a :class:`ParallelExecutor`: ``workers=1`` executes
 inline (bit-identical to the pre-engine serial code path), ``workers>1``
@@ -70,7 +70,7 @@ from repro.core.flowmodel import (
 from repro.core.mcmf import McfPrediction, multicommodity_min_time
 from repro.core.placement import Chassis, Placement, iter_placements
 from repro.core.symmetry import CanonicalFilter
-from repro.core.topology import NodeKind, Topology
+from repro.core.topology import NodeKind, Topology, TopologyMask
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids import cycle
     from repro.hardware.machines import MachineSpec
@@ -81,8 +81,16 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids import cycle
 #: the same analytic bottleneck (e.g. the SSD aggregate), so an exact
 #: ``bound < floor`` test never fires on tied searches.  Pruning instead
 #: drops candidates whose bound cannot beat the floor by more than one
-#: part in 10⁹ — the same tolerance the equivalence contract guarantees.
+#: part in 10⁹, which deliberately includes exact ties.
 PRUNE_REL_SLACK = 1e-9
+
+#: How closely bound pruning preserves the unpruned winner's
+#: throughput.  The pass-1 max-flow relaxation is an upper bound on the
+#: exact multicommodity score only *up to LP-solver tolerance*: a
+#: pruned tie's exact score can exceed its bound (violations up to a
+#: few parts in 10⁵ observed), so the equivalence contract is solver
+#: noise, not float epsilon.
+PRUNE_EQUIV_TOL = 1e-3
 
 
 # ----------------------------------------------------------------------
@@ -359,10 +367,12 @@ class _ScoreRuntime:
         machine: "MachineSpec",
         nvlink_pairs: Optional[Tuple[Tuple[int, int], ...]],
         scorers: Dict[str, Scorer],
+        mask: Optional[TopologyMask] = None,
     ) -> None:
         self.machine = machine
         self.nvlink_pairs = nvlink_pairs
         self.scorers = scorers
+        self.mask = mask
         self._topologies: Dict[Tuple, Topology] = {}
         self.cache_hits = 0
         self.cache_misses = 0
@@ -375,6 +385,10 @@ class _ScoreRuntime:
             return topo
         self.cache_misses += 1
         topo = self.machine.build(placement, nvlink_pairs=self.nvlink_pairs)
+        if self.mask:
+            # degraded-fabric search (replanning): every candidate is
+            # scored on the surviving topology
+            topo = self.mask.apply(topo)
         self._topologies[key] = topo
         return topo
 
@@ -396,9 +410,9 @@ class _ScoreRuntime:
 _WORKER_RUNTIME: Optional[_ScoreRuntime] = None
 
 
-def _pool_init(machine, nvlink_pairs, scorers) -> None:
+def _pool_init(machine, nvlink_pairs, scorers, mask=None) -> None:
     global _WORKER_RUNTIME
-    _WORKER_RUNTIME = _ScoreRuntime(machine, nvlink_pairs, scorers)
+    _WORKER_RUNTIME = _ScoreRuntime(machine, nvlink_pairs, scorers, mask)
 
 
 def _pool_chunk(stage, items):
@@ -421,10 +435,11 @@ class ParallelExecutor:
         nvlink_pairs: Optional[Tuple[Tuple[int, int], ...]],
         scorers: Dict[str, Scorer],
         workers: int = 1,
+        mask: Optional[TopologyMask] = None,
     ) -> None:
         self.workers = max(1, int(workers))
-        self._init_args = (machine, nvlink_pairs, dict(scorers))
-        self._local = _ScoreRuntime(machine, nvlink_pairs, dict(scorers))
+        self._init_args = (machine, nvlink_pairs, dict(scorers), mask)
+        self._local = _ScoreRuntime(machine, nvlink_pairs, dict(scorers), mask)
         self._pool: Optional[ProcessPoolExecutor] = None
         self.cache_hits = 0
         self.cache_misses = 0
@@ -514,6 +529,9 @@ class SearchRequest:
     #: Restrict the search to these placements (skips enumeration and
     #: symmetry dedupe, e.g. data-placement-only runs à la §4.5).
     candidates: Optional[Tuple[Placement, ...]] = None
+    #: Score every candidate on the degraded (surviving) topology —
+    #: used by fault replanning.  ``None`` searches the healthy fabric.
+    mask: Optional[TopologyMask] = None
 
     def resolved_workers(self) -> int:
         """The effective worker count for this request."""
@@ -656,9 +674,10 @@ class SearchEngine:
         Finalists arrive sorted by descending pass-1 bound.  A min-heap
         of the ``top_k`` best exact scores so far gives the floor; a
         candidate whose bound cannot beat the floor by more than
-        :data:`PRUNE_REL_SLACK` (one part in 10⁹ — solver float noise)
-        skips the LP: its exact score is ≤ its bound, so pruning can
-        only drop candidates within 1e-9 relative of the kept floor.
+        :data:`PRUNE_REL_SLACK` (ties included) skips the LP.  Exact
+        scores can exceed the pass-1 "upper" bound by LP-solver noise,
+        so the winner is preserved to :data:`PRUNE_EQUIV_TOL`, not to
+        float epsilon.
 
         Scoring proceeds in fixed waves of ``top_k`` candidates and the
         floor only tightens *between* waves, so prune decisions depend
@@ -790,6 +809,7 @@ def run_search(request: SearchRequest) -> SearchResult:
         request.nvlink_pairs,
         {"coarse": coarse, "exact": exact},
         workers=request.resolved_workers(),
+        mask=request.mask,
     )
     engine = SearchEngine(
         source,

@@ -361,6 +361,72 @@ class Topology:
                 raise ValueError(f"GPU {g!r} is unreachable from all storage")
 
 
+@dataclass(frozen=True)
+class TopologyMask:
+    """A declarative degradation of a topology: nodes that disappeared
+    and capacity scale factors for the survivors.
+
+    Used by the replanning path (:mod:`repro.runtime.replan`): the
+    placement search re-runs against ``mask.apply(healthy_topo)`` so a
+    new data placement is computed for the *surviving* fabric without
+    mutating the healthy machine model.  All fields are tuples so a
+    mask pickles cleanly into search worker processes.
+
+    Unknown node names are skipped leniently — strict validation
+    against a concrete topology belongs to
+    :class:`repro.faults.injector.FaultInjector`.
+    """
+
+    #: Node names removed entirely (their links disappear with them).
+    drop_nodes: Tuple[str, ...] = ()
+    #: (node name, factor in (0, 1]) scaling the node's egress ceiling.
+    egress_factors: Tuple[Tuple[str, float], ...] = ()
+    #: (src, dst, factor in (0, 1]) scaling one directed link.
+    link_factors: Tuple[Tuple[str, str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "drop_nodes", tuple(self.drop_nodes))
+        object.__setattr__(
+            self, "egress_factors", tuple(tuple(e) for e in self.egress_factors)
+        )
+        object.__setattr__(
+            self, "link_factors", tuple(tuple(l) for l in self.link_factors)
+        )
+        for _, factor in self.egress_factors:
+            if not (0.0 < factor <= 1.0):
+                raise ValueError(f"egress factor must be in (0, 1], got {factor}")
+        for _, _, factor in self.link_factors:
+            if not (0.0 < factor <= 1.0):
+                raise ValueError(f"link factor must be in (0, 1], got {factor}")
+
+    def __bool__(self) -> bool:
+        return bool(self.drop_nodes or self.egress_factors or self.link_factors)
+
+    def apply(self, topo: Topology) -> Topology:
+        """A new topology with the mask's degradations applied."""
+        import dataclasses as _dc
+
+        dropped = set(self.drop_nodes)
+        egress = {name: factor for name, factor in self.egress_factors}
+        links = {(src, dst): factor for src, dst, factor in self.link_factors}
+        out = Topology(f"{topo.name}|masked")
+        for node in topo.nodes:
+            if node.name in dropped:
+                continue
+            factor = egress.get(node.name)
+            if factor is not None and node.egress_bw is not None:
+                node = _dc.replace(node, egress_bw=node.egress_bw * factor)
+            out.add_node(node)
+        for link in topo.links:
+            if link.src in dropped or link.dst in dropped:
+                continue
+            factor = links.get(link.key)
+            if factor is not None:
+                link = _dc.replace(link, capacity=link.capacity * factor)
+            out.add_directed_link(link)
+        return out
+
+
 def iter_physical_links(topo: Topology) -> Iterator[Link]:
     """Yield each full-duplex link once (the lexicographically first
     direction), useful for reports that treat a link as one wire."""

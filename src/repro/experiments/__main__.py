@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments all --quick
     python -m repro.experiments fig10 --trace --json-out runs.jsonl
     python -m repro.experiments fig10 --search-workers 4 --prune-bounds
+    python -m repro.experiments faults --faults "fail@2:ssd0;slow@5:ssd3:0.5"
 
 ``--trace`` prints the telemetry report (span tree, tier breakdown,
 busiest links) after each experiment; ``--json-out`` appends one
@@ -54,6 +55,15 @@ def main(argv=None) -> int:
         "experiment to PATH",
     )
     parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject a fault schedule into fault-aware experiments; "
+        "SPEC is ';'-separated 'kind@step[+duration]:target[:param]' "
+        "clauses, e.g. 'fail@2:ssd0;slow@5:ssd3:0.5' "
+        "(see repro.faults.FaultSchedule.parse)",
+    )
+    parser.add_argument(
         "--search-workers",
         type=int,
         metavar="N",
@@ -66,7 +76,8 @@ def main(argv=None) -> int:
         "--prune-bounds",
         action="store_true",
         help="skip pass-2 LP scoring of candidates whose pass-1 bound "
-        "cannot win (preserves the winner's throughput to 1e-9 relative)",
+        "cannot win (preserves the winner's throughput to LP-solver "
+        "noise; see repro.core.search.PRUNE_EQUIV_TOL)",
     )
     args = parser.parse_args(argv)
 
@@ -74,6 +85,11 @@ def main(argv=None) -> int:
         search.set_default_workers(args.search_workers)
     if args.prune_bounds:
         search.set_default_prune_bounds(True)
+    faults = None
+    if args.faults is not None:
+        from repro.faults import FaultSchedule
+
+        faults = FaultSchedule.parse(args.faults)
 
     if not args.experiment:
         print("available experiments:")
@@ -86,7 +102,7 @@ def main(argv=None) -> int:
     for exp in ids:
         if telemetry_on:
             with obs.capture() as tel:
-                result = run_experiment(exp, quick=args.quick)
+                result = run_experiment(exp, quick=args.quick, faults=faults)
             record = obs.build_run_record(
                 run_id=exp,
                 config={
@@ -104,7 +120,7 @@ def main(argv=None) -> int:
                 print()
                 print(obs.report.render_record(record))
         else:
-            result = run_experiment(exp, quick=args.quick)
+            result = run_experiment(exp, quick=args.quick, faults=faults)
             result.print()
         print()
     return 0

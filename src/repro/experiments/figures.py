@@ -18,6 +18,7 @@ Conventions:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -43,6 +44,7 @@ from repro.hardware.machines import (
     machine_b,
     moment_paper_layout_b,
 )
+from repro.runtime.spec import RunSpec
 from repro.runtime.system import GnnSystem, MomentSystem, SystemResult
 from repro.utils.report import Table
 
@@ -213,13 +215,13 @@ def _placement_sweep(
     system = system_cls(machine)
     out = {}
     for key, placement in classic_layouts(machine, num_gpus=num_gpus).items():
-        out[key] = system.run(
-            dataset,
+        out[key] = system.run(RunSpec(
+            dataset=dataset,
             placement=placement,
             model=model,
             num_gpus=num_gpus,
             sample_batches=sample_batches,
-        )
+        ))
     return out
 
 
@@ -338,12 +340,12 @@ def _binding_scaling_fig(fig_id, system_cls, quick) -> ExperimentResult:
         per_gpu = {}
         for n in (2, 4):
             placement = classic_layouts(machine, num_gpus=n)["d"]
-            r = system.run(
-                ds,
+            r = system.run(RunSpec(
+                dataset=ds,
                 placement=placement,
                 num_gpus=n,
                 sample_batches=_batches(quick),
-            )
+            ))
             per_gpu[n] = r.seeds_per_s if r.ok else 0.0
             table.add_row([key, n, per_gpu[n] / 1e3])
         data[key] = per_gpu
@@ -370,12 +372,12 @@ def run_fig7_moment_placement(quick: bool = False) -> ExperimentResult:
     machine = machine_b()
     ds = _dataset("IG", quick)
     moment = MomentSystem(machine)
-    r = moment.run(ds, sample_batches=_batches(quick))
-    fig7 = moment.run(
-        ds,
+    r = moment.run(RunSpec(dataset=ds, sample_batches=_batches(quick)))
+    fig7 = moment.run(RunSpec(
+        dataset=ds,
         placement=moment_paper_layout_b(machine),
         sample_batches=_batches(quick),
-    )
+    ))
     best_classic = _placement_sweep(
         machine, ds, "graphsage", 4, _batches(quick), MomentSystem
     )
@@ -431,18 +433,18 @@ def run_fig10_end_to_end(
         # stock front-bay server layout (a)
         stock = classic_layouts(machine)["a"]
         for model in models:
-            moment = MomentSystem(machine).run(
-                ds, model=model, sample_batches=_batches(quick)
-            )
-            mgids = MGidsSystem(machine).run(
-                ds,
+            moment = MomentSystem(machine).run(RunSpec(
+                dataset=ds, model=model, sample_batches=_batches(quick)
+            ))
+            mgids = MGidsSystem(machine).run(RunSpec(
+                dataset=ds,
                 placement=stock,
                 model=model,
                 sample_batches=_batches(quick),
-            )
-            dgl = DistDglSystem().run(
-                ds, model=model, sample_batches=_batches(quick)
-            )
+            ))
+            dgl = DistDglSystem().run(RunSpec(
+                dataset=ds, model=model, sample_batches=_batches(quick)
+            ))
 
             def cell(ok: bool, seeds: float) -> str:
                 return f"{seeds / 1e3:.1f}" if ok else "X"
@@ -506,9 +508,10 @@ def _placements_vs_moment_fig(fig_id, machine, quick) -> ExperimentResult:
             classics = _placement_sweep(
                 machine, ds, model, n, _batches(quick), MomentSystem
             )
-            moment = MomentSystem(machine).run(
-                ds, model=model, num_gpus=n, sample_batches=_batches(quick)
-            )
+            moment = MomentSystem(machine).run(RunSpec(
+                dataset=ds, model=model, num_gpus=n,
+                sample_batches=_batches(quick),
+            ))
             best_classic = max(r.seeds_per_s for r in classics.values())
             worst_classic = min(r.seeds_per_s for r in classics.values())
             speedup = moment.seeds_per_s / max(best_classic, 1e-9)
@@ -569,7 +572,9 @@ def run_fig13_prediction(
             ds = _dataset(key, quick)
             for n in (2, 4):
                 moment = MomentSystem(machine)
-                r = moment.run(ds, num_gpus=n, sample_batches=n_batches)
+                r = moment.run(RunSpec(
+                    dataset=ds, num_gpus=n, sample_batches=n_batches
+                ))
                 if not r.ok:
                     continue
                 epoch = r.epoch
@@ -628,12 +633,12 @@ def _ddak_vs_hash(
     ds = _dataset("IG", quick)
     out: Dict[str, Dict[str, SystemResult]] = {}
     for key, placement in classic_layouts(machine).items():
-        ddak = MomentSystem(machine).run(
-            ds, placement=placement, sample_batches=_batches(quick)
-        )
-        hashed = _HashMomentSystem(machine).run(
-            ds, placement=placement, sample_batches=_batches(quick)
-        )
+        ddak = MomentSystem(machine).run(RunSpec(
+            dataset=ds, placement=placement, sample_batches=_batches(quick)
+        ))
+        hashed = _HashMomentSystem(machine).run(RunSpec(
+            dataset=ds, placement=placement, sample_batches=_batches(quick)
+        ))
         out[key] = {"ddak": ddak, "hash": hashed}
     return out
 
@@ -716,16 +721,16 @@ def run_fig16_scalability(
         for n in gpu_counts:
             layouts = classic_layouts(machine, num_gpus=n)
             for key in ("c", "d"):
-                r = MomentSystem(machine).run(
-                    ds,
+                r = MomentSystem(machine).run(RunSpec(
+                    dataset=ds,
                     placement=layouts[key],
                     num_gpus=n,
                     sample_batches=_batches(quick),
-                )
+                ))
                 rows[key][n] = r.seeds_per_s
-            rm = MomentSystem(machine).run(
-                ds, num_gpus=n, sample_batches=_batches(quick)
-            )
+            rm = MomentSystem(machine).run(RunSpec(
+                dataset=ds, num_gpus=n, sample_batches=_batches(quick)
+            ))
             rows["moment"][n] = rm.seeds_per_s
         for sysname, per_gpu in rows.items():
             scaling = per_gpu[max(gpu_counts)] / max(per_gpu[1], 1e-9)
@@ -760,15 +765,15 @@ def run_fig18_nvlink(quick: bool = False) -> ExperimentResult:
     for machine in (machine_a(), machine_b()):
         placement = classic_layouts(machine)["c"]
         pairs = [(0, 2), (1, 3)]  # bridges across the two switches
-        base = MomentSystem(machine).run(
-            ds, placement=placement, sample_batches=_batches(quick)
-        )
-        nv = MomentSystem(machine).run(
-            ds,
+        base = MomentSystem(machine).run(RunSpec(
+            dataset=ds, placement=placement, sample_batches=_batches(quick)
+        ))
+        nv = MomentSystem(machine).run(RunSpec(
+            dataset=ds,
             placement=placement,
             sample_batches=_batches(quick),
             nvlink_pairs=pairs,
-        )
+        ))
         gain = base.paper_epoch_seconds / nv.paper_epoch_seconds - 1
         data[machine.name] = gain
         table.add_row(

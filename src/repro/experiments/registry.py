@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.experiments import faults as X
 from repro.experiments import figures as F
 from repro.experiments import sensitivity as S
 
@@ -34,6 +35,7 @@ _REGISTRY: Dict[str, Callable] = {
     "fig18": F.run_fig18_nvlink,
     "cost": F.run_cost_tco,
     "pooling": F.run_ddak_pooling,
+    "faults": X.run_faults,
     "sens-cache": S.sweep_gpu_cache,
     "sens-qpi": S.sweep_qpi_bandwidth,
     "sens-skew": S.sweep_skew,
@@ -42,6 +44,9 @@ _REGISTRY: Dict[str, Callable] = {
 
 #: runners that take no ``quick`` parameter
 _NO_QUICK = {"table1", "cost"}
+
+#: runners that accept a ``faults`` schedule (CLI ``--faults SPEC``)
+_ACCEPTS_FAULTS = {"faults"}
 
 
 def list_experiments() -> List[str]:
@@ -60,9 +65,21 @@ def get_runner(experiment_id: str) -> Callable:
         ) from None
 
 
-def run_experiment(experiment_id: str, quick: bool = False):
-    """Run one experiment by id."""
+def run_experiment(experiment_id: str, quick: bool = False, faults=None):
+    """Run one experiment by id.
+
+    ``faults`` (a :class:`~repro.faults.FaultSchedule`) is forwarded to
+    runners that inject faults; passing it to any other experiment is
+    an error rather than a silent no-op.
+    """
     runner = get_runner(experiment_id)
+    if faults is not None and experiment_id not in _ACCEPTS_FAULTS:
+        raise ValueError(
+            f"experiment {experiment_id!r} does not take a fault "
+            f"schedule; --faults applies to: {', '.join(_ACCEPTS_FAULTS)}"
+        )
     if experiment_id in _NO_QUICK:
         return runner()
+    if experiment_id in _ACCEPTS_FAULTS:
+        return runner(quick=quick, faults=faults)
     return runner(quick=quick)

@@ -28,6 +28,7 @@ from repro.experiments.figures import ExperimentResult, _batches, _dataset, _tim
 from repro.graphs.datasets import IGB_HOM
 from repro.graphs.generators import power_law_graph
 from repro.hardware.machines import classic_layouts, machine_a
+from repro.runtime.spec import RunSpec
 from repro.runtime.system import MomentSystem
 from repro.utils.report import Table
 
@@ -60,9 +61,9 @@ def sweep_gpu_cache(
     )
     data: Dict[float, float] = {}
     for frac in fractions:
-        r = MomentSystem(machine, gpu_cache_fraction=frac).run(
-            ds, placement=placement, sample_batches=_batches(quick)
-        )
+        r = MomentSystem(machine, gpu_cache_fraction=frac).run(RunSpec(
+            dataset=ds, placement=placement, sample_batches=_batches(quick)
+        ))
         e = r.epoch
         hit = e.local_bytes / max(e.local_bytes + e.external_bytes, 1)
         table.add_row([frac, e.paper_epoch_seconds, hit * 100])
@@ -105,11 +106,11 @@ def sweep_qpi_bandwidth(
             specs.QPI_P2P_BW = bw
             times = {}
             for key in ("b", "c"):
-                r = MHyperionSystem(machine).run(
-                    ds,
+                r = MHyperionSystem(machine).run(RunSpec(
+                    dataset=ds,
                     placement=layouts[key],
                     sample_batches=_batches(quick),
-                )
+                ))
                 times[key] = r.paper_epoch_seconds
             gap = times["b"] / times["c"]
             table.add_row([bw / 1e9, times["b"], times["c"], f"{gap:.2f}x"])
@@ -148,12 +149,12 @@ def sweep_skew(
             seed=3,
         )
         ds = dataclasses.replace(base, graph=graph)
-        ddak = MomentSystem(machine).run(
-            ds, placement=placement, sample_batches=_batches(quick)
-        )
-        hashed = _HashMoment(machine).run(
-            ds, placement=placement, sample_batches=_batches(quick)
-        )
+        ddak = MomentSystem(machine).run(RunSpec(
+            dataset=ds, placement=placement, sample_batches=_batches(quick)
+        ))
+        hashed = _HashMoment(machine).run(RunSpec(
+            dataset=ds, placement=placement, sample_batches=_batches(quick)
+        ))
         gain = hashed.paper_epoch_seconds / ddak.paper_epoch_seconds - 1
         table.add_row(
             [exp, ddak.paper_epoch_seconds, hashed.paper_epoch_seconds,
@@ -191,9 +192,9 @@ def sweep_feature_dim(
     for dim in dims:
         graph = dataclasses.replace(base.graph, feature_dim=dim)
         ds = dataclasses.replace(base, graph=graph)
-        r = MomentSystem(machine).run(
-            ds, placement=placement, sample_batches=_batches(quick)
-        )
+        r = MomentSystem(machine).run(RunSpec(
+            dataset=ds, placement=placement, sample_batches=_batches(quick)
+        ))
         e = r.epoch
         table.add_row(
             [

@@ -1,0 +1,48 @@
+"""Fault injection for degradation-aware training (ROADMAP: graceful
+degradation).
+
+Public surface:
+
+* fault models — :class:`SsdFailure`, :class:`SsdSlowdown`,
+  :class:`LinkDegrade`, :class:`GpuEvict` (all frozen dataclasses);
+* :class:`FaultSchedule` — a deterministic, step-indexed event list with
+  a ``--faults`` CLI mini-DSL (:meth:`FaultSchedule.parse`) and a
+  seeded generator (:func:`random_schedule`);
+* :class:`FaultInjector` / :class:`FaultView` — per-step degraded
+  capacity views the :class:`~repro.simulator.pipeline.EpochSimulator`
+  consumes.
+
+Import-cycle note: this package imports :mod:`repro.simulator`
+submodules at module level; the simulator's ``pipeline`` therefore
+imports *us* lazily (inside ``EpochSimulator.__init__``), never at
+module scope.
+"""
+
+from repro.faults.injector import (
+    RECOVERY_BW,
+    FaultInjector,
+    FaultView,
+    recovery_key,
+)
+from repro.faults.models import (
+    Fault,
+    GpuEvict,
+    LinkDegrade,
+    SsdFailure,
+    SsdSlowdown,
+)
+from repro.faults.schedule import FaultSchedule, random_schedule
+
+__all__ = [
+    "Fault",
+    "SsdFailure",
+    "SsdSlowdown",
+    "LinkDegrade",
+    "GpuEvict",
+    "FaultSchedule",
+    "random_schedule",
+    "FaultInjector",
+    "FaultView",
+    "RECOVERY_BW",
+    "recovery_key",
+]

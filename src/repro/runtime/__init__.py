@@ -1,11 +1,20 @@
-"""System runtime: the Moment trainer, shared system machinery, and the
-adaptive-placement extension (paper Section 5)."""
+"""System runtime: the Moment trainer, shared system machinery, the
+adaptive-placement extension (paper Section 5), and degradation-aware
+replanning under injected faults."""
 
+from repro.runtime.spec import RunSpec
 from repro.runtime.system import (
+    RUN_RECORD_SCHEMA,
     GnnSystem,
     MomentSystem,
     SystemResult,
     gpu_memory_budget,
+)
+from repro.runtime.replan import (
+    ReplanConfig,
+    ReplanEvent,
+    ReplanPolicy,
+    ReplanReport,
 )
 from repro.runtime.adaptive import (
     AdaptivePlacementManager,
@@ -17,10 +26,16 @@ from repro.runtime.adaptive import (
 )
 
 __all__ = [
+    "RunSpec",
+    "RUN_RECORD_SCHEMA",
     "GnnSystem",
     "MomentSystem",
     "SystemResult",
     "gpu_memory_budget",
+    "ReplanConfig",
+    "ReplanEvent",
+    "ReplanPolicy",
+    "ReplanReport",
     "AdaptivePlacementManager",
     "AdaptiveRunResult",
     "DriftingWorkload",

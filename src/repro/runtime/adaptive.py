@@ -76,6 +76,14 @@ class OnlineHotnessTracker:
         return self.counts + self.floor
 
 
+def _bin_name_of(placement: DataPlacement) -> np.ndarray:
+    """Per-vertex bin *names* — the stable identity for counting moved
+    vertices across two placements (bin indices only align when both
+    placements share one bin list)."""
+    names = np.array([b.name for b in placement.bins])
+    return names[placement.bin_of]
+
+
 @dataclass
 class MigrationEvent:
     """One re-placement: when, how much moved, what it cost."""
@@ -121,15 +129,27 @@ class AdaptivePlacementManager:
         epoch: int,
         current: DataPlacement,
         tracked_hotness: np.ndarray,
+        bins: Optional[Sequence[Bin]] = None,
     ) -> Tuple[DataPlacement, MigrationEvent]:
-        """Re-run DDAK on tracked hotness; charge the movement cost."""
+        """Re-run DDAK on tracked hotness; charge the movement cost.
+
+        ``bins`` re-targets the knapsack at a *different* bin list (the
+        fault-replanning path, where failed bins disappeared): movement
+        is then counted by comparing each vertex's bin *name* — indices
+        are meaningless across bin lists — and the manager adopts the
+        new bins for subsequent replacements.
+        """
+        if bins is not None:
+            self.bins = list(bins)
         new = ddak_place(
             self.bins,
             tracked_hotness,
             self.feature_bytes,
             pool_size=self.pool_size,
         )
-        moved = int(np.count_nonzero(new.bin_of != current.bin_of))
+        moved = int(
+            np.count_nonzero(_bin_name_of(new) != _bin_name_of(current))
+        )
         moved_bytes = moved * float(self.feature_bytes)
         event = MigrationEvent(
             epoch=epoch,

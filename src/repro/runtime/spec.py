@@ -1,0 +1,92 @@
+"""The unified run specification (:class:`RunSpec`).
+
+``GnnSystem.run`` historically took 8 loose keyword arguments; every
+new capability (fault schedules, replanning) would have widened that
+signature further at a dozen call sites.  A :class:`RunSpec` bundles
+the complete description of one run into a single frozen value:
+
+>>> spec = RunSpec(dataset=ds, placement=layout, sample_batches=6)
+>>> result = system.run(spec)
+>>> result = system.run(spec.replace(faults=schedule, replan=True))
+
+The old kwargs form still works through a deprecation shim on
+``GnnSystem.run`` and produces identical results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.placement import Placement
+from repro.faults.schedule import FaultSchedule
+from repro.graphs.datasets import ScaledDataset
+from repro.runtime.replan import ReplanConfig
+
+
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """Everything one :meth:`GnnSystem.run` needs, as a single value.
+
+    ``eq=False``: ``hotness`` may be a large array; specs are compared
+    by identity, not content.
+    """
+
+    dataset: ScaledDataset
+    #: Hardware placement; None lets the system pick (Moment searches,
+    #: fixed-layout baselines use their default).
+    placement: Optional[Placement] = None
+    model: str = "graphsage"
+    num_gpus: int = 4
+    num_ssds: int = 8
+    fanouts: Tuple[int, ...] = (25, 10)
+    sample_batches: int = 10
+    nvlink_pairs: Optional[Sequence[Tuple[int, int]]] = None
+    #: Per-vertex hotness override (None = the system estimates it).
+    hotness: Optional[np.ndarray] = None
+    #: Fault schedule injected into the epoch simulation (None/empty =
+    #: healthy run, bit-identical to the pre-faults code path).
+    faults: Optional[FaultSchedule] = None
+    #: Degradation-aware replanning: ``True`` enables it with default
+    #: knobs, or pass a :class:`~repro.runtime.replan.ReplanConfig`.
+    #: Requires a fault schedule (it reacts to injected degradation).
+    replan: Union[bool, ReplanConfig, None] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fanouts", tuple(self.fanouts))
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if self.num_ssds < 1:
+            raise ValueError("num_ssds must be >= 1")
+        if self.sample_batches < 1:
+            raise ValueError("sample_batches must be >= 1")
+        if self.faults is not None and not isinstance(
+            self.faults, FaultSchedule
+        ):
+            raise TypeError(
+                f"faults must be a FaultSchedule, got {type(self.faults)}"
+            )
+        if self.replan_config is not None and not self.faults:
+            raise ValueError(
+                "replan requires a fault schedule to react to"
+            )
+
+    @property
+    def replan_config(self) -> Optional[ReplanConfig]:
+        """The effective replanning config (None = replanning off)."""
+        if self.replan is None or self.replan is False:
+            return None
+        if self.replan is True:
+            return ReplanConfig()
+        if isinstance(self.replan, ReplanConfig):
+            return self.replan
+        raise TypeError(
+            f"replan must be bool or ReplanConfig, got {type(self.replan)}"
+        )
+
+    def replace(self, **changes) -> "RunSpec":
+        """A copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)

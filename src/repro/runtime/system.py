@@ -11,6 +11,7 @@ placement it runs on.  :meth:`GnnSystem.run` returns a
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,6 +25,7 @@ from repro.core.optimizer import (
     MomentPlan,
     OptimizerConfig,
     capacity_plan,
+    tier_fractions,
 )
 from repro.core.placement import Placement
 from repro.core.search import SearchResult
@@ -40,8 +42,15 @@ from repro.simulator.memory import (
     io_buffer_bytes,
 )
 from repro.simulator.pipeline import EpochResult, EpochSimulator, SimConfig
+from repro.simulator.traffic import TrafficAccount
+from repro.core.flowmodel import TrafficDemand
+from repro.runtime.replan import ReplanPolicy
+from repro.runtime.spec import RunSpec
 from repro.utils.rng import SeedLike
 from repro.utils.units import GiB
+
+#: Versioned schema tag for :meth:`SystemResult.to_dict` records.
+RUN_RECORD_SCHEMA = "repro.run/v1"
 
 
 @dataclass
@@ -64,6 +73,9 @@ class SystemResult:
     #: Spans + metric deltas recorded during this run (None when
     #: telemetry was disabled); see :class:`repro.obs.RunScope`.
     telemetry: Optional[Dict] = None
+    #: What the replan policy observed/did (None unless the run had a
+    #: fault schedule and replanning enabled).
+    replan: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -92,6 +104,129 @@ class SystemResult:
         return (
             f"SystemResult({self.system} on {self.machine}/{self.dataset}/"
             f"{self.model} x{self.num_gpus}gpu: {tail})"
+        )
+
+    # -- serialization (schema ``repro.run/v1``) -------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable record of this run (schema
+        :data:`RUN_RECORD_SCHEMA`).
+
+        Carries the scalar outcome: identity fields, the epoch's
+        timings/throughput/trajectory and the replan report.  Rich
+        in-memory objects (plan, data placement, per-link traffic,
+        demand matrix, telemetry) are intentionally *not* serialized —
+        re-run with telemetry capture for those.  The CLI ``--json-out``,
+        the benchmarks and the fault bench all emit this shape.
+        """
+        epoch = None
+        if self.epoch is not None:
+            e = self.epoch
+            epoch = {
+                "epoch_seconds": float(e.epoch_seconds),
+                "paper_epoch_seconds": float(e.paper_epoch_seconds),
+                "num_steps": int(e.num_steps),
+                "io_seconds": float(e.io_seconds),
+                "sample_seconds": float(e.sample_seconds),
+                "compute_seconds": float(e.compute_seconds),
+                "sync_seconds": float(e.sync_seconds),
+                "throughput_bytes_per_s": float(e.throughput_bytes_per_s),
+                "seeds_per_s": float(e.seeds_per_s),
+                "local_bytes": float(e.local_bytes),
+                "external_bytes": float(e.external_bytes),
+                "per_gpu_inlet": {
+                    g: float(v) for g, v in e.per_gpu_inlet.items()
+                },
+                "step_seconds": [float(s) for s in e.step_seconds],
+            }
+        replan = None
+        if self.replan is not None:
+            r = self.replan
+            replan = {
+                "recovered": bool(r.recovered),
+                "healthy_step_s": (
+                    None
+                    if r.healthy_step_s is None
+                    else float(r.healthy_step_s)
+                ),
+                "time_to_recover_s": (
+                    None
+                    if r.time_to_recover_s is None
+                    else float(r.time_to_recover_s)
+                ),
+                "migrated_bytes": float(r.migrated_bytes),
+                "events": [
+                    {
+                        "step": int(ev.step),
+                        "faults": list(ev.faults),
+                        "moved_vertices": int(ev.moved_vertices),
+                        "moved_bytes": float(ev.moved_bytes),
+                        "seconds": float(ev.seconds),
+                    }
+                    for ev in r.events
+                ],
+            }
+        return {
+            "schema": RUN_RECORD_SCHEMA,
+            "system": self.system,
+            "machine": self.machine,
+            "dataset": self.dataset,
+            "model": self.model,
+            "num_gpus": int(self.num_gpus),
+            "ok": self.ok,
+            "oom": self.oom,
+            "placement": (
+                list(self.placement.as_tuple())
+                if self.placement is not None
+                else None
+            ),
+            "epoch": epoch,
+            "replan": replan,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "SystemResult":
+        """Rebuild a result from a :meth:`to_dict` record.
+
+        The epoch comes back with empty ``traffic``/``demand`` (those
+        are not serialized); ``plan``/``placement``/``data_placement``/
+        ``search``/``telemetry`` are ``None``; ``replan`` is the plain
+        record dict (not a :class:`~repro.runtime.replan.ReplanReport`).
+        """
+        schema = record.get("schema")
+        if schema != RUN_RECORD_SCHEMA:
+            raise ValueError(
+                f"unsupported run record schema {schema!r}; "
+                f"expected {RUN_RECORD_SCHEMA!r}"
+            )
+        epoch = None
+        if record.get("epoch") is not None:
+            e = record["epoch"]
+            epoch = EpochResult(
+                epoch_seconds=e["epoch_seconds"],
+                paper_epoch_seconds=e["paper_epoch_seconds"],
+                num_steps=e["num_steps"],
+                io_seconds=e["io_seconds"],
+                sample_seconds=e["sample_seconds"],
+                compute_seconds=e["compute_seconds"],
+                sync_seconds=e["sync_seconds"],
+                throughput_bytes_per_s=e["throughput_bytes_per_s"],
+                seeds_per_s=e["seeds_per_s"],
+                per_gpu_inlet=dict(e["per_gpu_inlet"]),
+                local_bytes=e["local_bytes"],
+                external_bytes=e["external_bytes"],
+                traffic=TrafficAccount(Topology("deserialized")),
+                demand=TrafficDemand(),
+                step_seconds=list(e.get("step_seconds", [])),
+            )
+        return cls(
+            system=record["system"],
+            machine=record["machine"],
+            dataset=record["dataset"],
+            model=record["model"],
+            num_gpus=record["num_gpus"],
+            epoch=epoch,
+            oom=record.get("oom"),
+            replan=record.get("replan"),
         )
 
 
@@ -149,6 +284,8 @@ class GnnSystem:
     #: Fraction of the HBM cache budget the system uses *effectively*
     #: (dynamic page caches thrash relative to an optimal hot set).
     gpu_cache_efficiency = 1.0
+    #: How per-GPU caches share hot vertices (see :func:`make_bins`).
+    gpu_cache_policy = "replicated"
 
     def __init__(
         self,
@@ -207,62 +344,63 @@ class GnnSystem:
         return placement, None
 
     # -- main entry point --------------------------------------------------
-    def run(
-        self,
-        dataset: ScaledDataset,
-        placement: Optional[Placement] = None,
-        model: str = "graphsage",
-        num_gpus: int = 4,
-        num_ssds: int = 8,
-        fanouts: Tuple[int, ...] = (25, 10),
-        sample_batches: int = 10,
-        nvlink_pairs: Optional[Sequence[Tuple[int, int]]] = None,
-        hotness: Optional[np.ndarray] = None,
-    ) -> SystemResult:
+    def run(self, spec=None, **kwargs) -> SystemResult:
         """Budget memory, place data, and simulate one epoch.
+
+        The canonical form takes one :class:`~repro.runtime.spec.RunSpec`::
+
+            system.run(RunSpec(dataset=ds, sample_batches=6))
+
+        The historical loose-kwargs form
+        (``system.run(ds, placement=..., num_gpus=4, ...)``) still works
+        — it builds the equivalent ``RunSpec`` and emits a
+        ``DeprecationWarning`` — and produces identical results.
 
         With telemetry enabled (:func:`repro.obs.enable` /
         :func:`~repro.obs.capture`), the run executes inside a
         ``system.run`` span and the result's :attr:`SystemResult.telemetry`
         carries the spans and metric deltas it produced.
         """
+        if not isinstance(spec, RunSpec):
+            if spec is not None:
+                kwargs["dataset"] = spec
+            warnings.warn(
+                "GnnSystem.run(dataset, **kwargs) is deprecated; pass a "
+                "repro.RunSpec instead (identical results)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            spec = RunSpec(**kwargs)
+        elif kwargs:
+            raise TypeError(
+                "pass either a RunSpec or legacy kwargs, not both: "
+                f"{sorted(kwargs)}"
+            )
         scope = obs.scope()
         with obs.span(
             "system.run",
             system=self.name,
             machine=self.machine.name,
-            dataset=dataset.spec.key,
-            model=model,
-            gpus=num_gpus,
+            dataset=spec.dataset.spec.key,
+            model=spec.model,
+            gpus=spec.num_gpus,
         ) as sp:
-            result = self._run(
-                dataset,
-                placement=placement,
-                model=model,
-                num_gpus=num_gpus,
-                num_ssds=num_ssds,
-                fanouts=fanouts,
-                sample_batches=sample_batches,
-                nvlink_pairs=nvlink_pairs,
-                hotness=hotness,
-            )
+            result = self._run(spec)
             sp.set(ok=result.ok)
         if scope is not None:
             result.telemetry = scope.collect()
         return result
 
-    def _run(
-        self,
-        dataset: ScaledDataset,
-        placement: Optional[Placement],
-        model: str,
-        num_gpus: int,
-        num_ssds: int,
-        fanouts: Tuple[int, ...],
-        sample_batches: int,
-        nvlink_pairs: Optional[Sequence[Tuple[int, int]]],
-        hotness: Optional[np.ndarray],
-    ) -> SystemResult:
+    def _run(self, spec: RunSpec) -> SystemResult:
+        dataset = spec.dataset
+        placement = spec.placement
+        model = spec.model
+        num_gpus = spec.num_gpus
+        num_ssds = spec.num_ssds
+        fanouts = spec.fanouts
+        sample_batches = spec.sample_batches
+        nvlink_pairs = spec.nvlink_pairs
+        hotness = spec.hotness
         io = IoStackConfig()
         result = SystemResult(
             system=self.name,
@@ -341,8 +479,34 @@ class GnnSystem:
                 seed=self.seed,
             ),
             ssd_binding=binding,
+            faults=spec.faults,
         )
-        result.epoch = sim.run_epoch()
+        on_step = None
+        replan_cfg = spec.replan_config
+        if replan_cfg is not None:
+            if plan is not None and plan.fractions is not None:
+                fractions = plan.fractions
+            else:
+                fractions = tier_fractions(
+                    hotness,
+                    dataset.feature_bytes,
+                    cap_plan,
+                    num_gpus,
+                    gpu_cache_policy=self.gpu_cache_policy,
+                )
+            policy = ReplanPolicy(
+                sim,
+                chosen,
+                hotness,
+                cap_plan,
+                fractions,
+                config=replan_cfg,
+                nvlink_pairs=nvlink_pairs,
+                gpu_cache_policy=self.gpu_cache_policy,
+            )
+            on_step = policy.on_step
+            result.replan = policy.report
+        result.epoch = sim.run_epoch(on_step=on_step)
         result.plan = plan
         result.placement = chosen
         result.data_placement = data_placement

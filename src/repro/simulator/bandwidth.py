@@ -122,6 +122,32 @@ def max_min_rates(
     return rates
 
 
+def degrade_capacities(
+    capacities: Dict[ResourceKey, float],
+    scale: Optional[Dict[ResourceKey, float]] = None,
+    drop: Sequence[ResourceKey] = (),
+    add: Optional[Dict[ResourceKey, float]] = None,
+) -> Dict[ResourceKey, float]:
+    """A degraded copy of a capacity dict for fault injection.
+
+    ``drop`` removes resources entirely — :func:`max_min_rates` requires
+    strictly positive capacities, so a dead resource must disappear from
+    the dict, never be zeroed.  ``scale`` multiplies surviving
+    capacities (factors must land positive); ``add`` introduces new
+    resources (e.g. a failed drive's bounded recovery path).
+    """
+    dropped = set(drop)
+    out = {k: v for k, v in capacities.items() if k not in dropped}
+    for key, factor in (scale or {}).items():
+        if key in out:
+            check_positive(f"scaled capacity[{key!r}]", out[key] * factor)
+            out[key] *= factor
+    for key, cap in (add or {}).items():
+        check_positive(f"added capacity[{key!r}]", cap)
+        out[key] = cap
+    return out
+
+
 def progressive_fill(
     flows: Sequence[Flow],
     capacities: Dict[ResourceKey, float],

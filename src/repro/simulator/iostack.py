@@ -46,6 +46,42 @@ class IoStackConfig:
         return self.num_queue_pairs * self.queue_depth
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Failed-read retry/timeout model (fault injection).
+
+    When a drive drops off the bus, in-flight reads time out; the stack
+    retries each ``max_retries`` times with exponential backoff before
+    declaring the drive dead and re-routing the page to the surviving
+    replica tier.  The one-time detection cost per failure event is
+    :attr:`detection_stall_s`; afterwards the re-routed reads run at the
+    recovery tier's bandwidth (see
+    :class:`repro.faults.injector.FaultInjector`).
+    """
+
+    max_retries: int = 3
+    timeout_s: float = 2e-3
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("max_retries", self.max_retries)
+        check_positive("timeout_s", self.timeout_s)
+        check_positive("backoff", self.backoff)
+
+    @property
+    def detection_stall_s(self) -> float:
+        """Wall-clock lost detecting one dead drive: the full retry
+        ladder (timeout, then backoff-scaled timeouts)."""
+        return sum(
+            self.timeout_s * self.backoff**i for i in range(self.max_retries)
+        )
+
+    def retries_for_bytes(self, nbytes: float, page_bytes: int) -> int:
+        """Retry submissions burned before giving up on ``nbytes`` worth
+        of page reads against a dead drive."""
+        return pages_for_bytes(nbytes, page_bytes) * self.max_retries
+
+
 def effective_read_bw(
     ssd: SsdSpec, page_bytes: int, queue_depth: int = 1024
 ) -> float:

@@ -37,10 +37,19 @@ from repro.graphs.partition import partition_random
 from repro.hardware.machines import MachineSpec
 from repro.sampling.neighbor import sample_batch
 from repro.simulator.bandwidth import Flow, progressive_fill
-from repro.simulator.iostack import IoStackConfig, effective_read_bw
+from repro.simulator.iostack import (
+    IoStackConfig,
+    RetryPolicy,
+    effective_read_bw,
+)
 from repro.simulator.routing import Router, egress_key
 from repro.simulator.traffic import TrafficAccount
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+
+#: Suffix marking a demand source as a failed drive's replica-recovery
+#: path: reads against ``f"{ssd}{_RECOVERY_SUFFIX}"`` route over the
+#: bounded ``("recovery", ssd)`` resource instead of the dead drive.
+_RECOVERY_SUFFIX = "!recovery"
 
 
 @dataclass(frozen=True)
@@ -72,6 +81,8 @@ class SimConfig:
     #: Fraction of such a fetch that takes the relay path (the relay
     #: costs an extra HBM hop and partner SM time, so it only offloads).
     nvlink_relay_fraction: float = 0.25
+    #: Failed-read retry ladder (only exercised under fault injection).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     seed: SeedLike = 0
 
     def __post_init__(self) -> None:
@@ -116,6 +127,10 @@ class EpochResult:
     traffic: TrafficAccount
     #: Per-epoch (bin, gpu) demand — input for the max-flow predictor.
     demand: TrafficDemand
+    #: Simulated per-step durations (seconds), in step order — the
+    #: throughput trajectory fault experiments plot.  Includes any
+    #: replan migration charges returned by ``run_epoch``'s ``on_step``.
+    step_seconds: List[float] = field(default_factory=list)
 
     @property
     def paper_throughput_bytes_per_s(self) -> float:
@@ -144,6 +159,11 @@ class EpochSimulator:
         (M-GIDS) that statically bind drives to GPUs: feature reads for
         SSD-resident vertices are redirected to the bound drives
         (round-robin), regardless of where placement put them.
+    faults:
+        Optional :class:`~repro.faults.schedule.FaultSchedule` injected
+        step-by-step: degraded capacities, failed-drive re-routing to
+        the recovery tier, and GPU cache evictions.  ``None`` or an
+        empty schedule reproduces the fault-free path bit-for-bit.
     """
 
     def __init__(
@@ -154,6 +174,7 @@ class EpochSimulator:
         placement: DataPlacement,
         config: Optional[SimConfig] = None,
         ssd_binding: Optional[Dict[str, Sequence[str]]] = None,
+        faults: Optional[object] = None,
     ) -> None:
         self.topo = topo
         self.machine = machine
@@ -176,6 +197,13 @@ class EpochSimulator:
             num_classes=self.config.num_classes,
         )
         self._capacities = self._build_capacities()
+        self.injector = None
+        if faults:
+            # lazy import: repro.faults imports simulator submodules at
+            # module level, so this module must never import it at scope
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(topo, faults, self._capacities)
         self._mem_banks = sorted(
             n.name for n in topo.nodes_of_kind(NodeKind.CPU_MEM)
         )
@@ -248,8 +276,19 @@ class EpochSimulator:
             return f"{donor}:mem"
         return bin_name
 
+    def set_placement(self, placement: DataPlacement) -> None:
+        """Swap in a new data placement mid-run (replanning).
+
+        Migration cost is *not* charged here — the replan policy
+        accounts it through ``run_epoch``'s ``on_step`` hook.
+        """
+        if placement.bin_of.size != self.dataset.graph.num_vertices:
+            raise ValueError("placement does not cover the dataset's vertices")
+        self.placement = placement
+        self._bin_names = [b.name for b in placement.bins]
+
     def _gpu_demand(
-        self, gpu: str, unique_vertices: np.ndarray
+        self, gpu: str, unique_vertices: np.ndarray, view=None
     ) -> Tuple[Dict[str, float], float]:
         """(external bytes per source node, local bytes) for one batch.
 
@@ -257,6 +296,10 @@ class EpochSimulator:
         and the GPU's own partitioned cache are local (free).  Systems
         with static SSD binding redirect all SSD-resident reads to the
         GPU's bound drives (their striping replicates data per GPU).
+
+        Under a fault view, reads against failed drives are re-keyed to
+        the drive's recovery source and a ``GpuEvict``'s share of local
+        hits becomes CPU-memory reads over the GPU's local banks.
         """
         fb = (
             float(self.dataset.feature_bytes)
@@ -268,6 +311,7 @@ class EpochSimulator:
         demand: Dict[str, float] = {}
         local = 0.0
         bound = self.ssd_binding.get(gpu)
+        failed = view.failed_ssds if view is not None else ()
         redirect = 0.0
         for bin_idx, count in enumerate(counts):
             if count == 0:
@@ -282,19 +326,40 @@ class EpochSimulator:
                 # across its own drives only
                 redirect += nbytes
             else:
+                if source in failed:
+                    source += _RECOVERY_SUFFIX
                 demand[source] = demand.get(source, 0.0) + nbytes
         if redirect:
             if not bound:
                 raise ValueError(f"{gpu} has an empty SSD binding")
             share = redirect / len(bound)
             for drive in bound:
-                demand[drive] = demand.get(drive, 0.0) + share
+                key = drive + _RECOVERY_SUFFIX if drive in failed else drive
+                demand[key] = demand.get(key, 0.0) + share
+        if view is not None:
+            evicted = view.evict_fraction.get(gpu, 0.0)
+            if evicted > 0 and local > 0:
+                moved = local * evicted
+                local -= moved
+                banks = self._local_mem_banks(gpu)
+                if banks:
+                    share = moved / len(banks)
+                    for bank in banks:
+                        demand[bank] = demand.get(bank, 0.0) + share
         return demand, local
 
     def simulate_step(
-        self, rngs: List[np.random.Generator], parts: List[np.ndarray]
+        self,
+        rngs: List[np.random.Generator],
+        parts: List[np.ndarray],
+        view=None,
     ) -> Tuple[Dict[str, float], Dict, TrafficDemand, float]:
         """Simulate one training step on every GPU.
+
+        ``view`` is an optional :class:`~repro.faults.injector.FaultView`:
+        transfers then contend on the degraded capacities, failed-drive
+        reads route over the recovery tier, and faults activating this
+        step charge the retry-ladder detection stall to the I/O stage.
 
         Returns (per-stage worst-GPU durations, fair-share result,
         step demand, local bytes).
@@ -320,11 +385,11 @@ class EpochSimulator:
             ).scaled(self._ratio)
             sample_gpu_cost[gpu] = self.cost_model.sampling_seconds(shapes[gpu])
             # feature-fetch flows
-            per_bin, local = self._gpu_demand(gpu, sample.unique_vertices)
+            per_bin, local = self._gpu_demand(gpu, sample.unique_vertices, view)
             local_total += local
             for bin_name, nbytes in sorted(per_bin.items()):
                 demand.add(bin_name, gpu, nbytes)
-                flows.extend(self._feature_flows(bin_name, gpu, nbytes))
+                flows.extend(self._route_flows(bin_name, gpu, nbytes))
             # adjacency reads from CPU memory during sampling (the
             # graph topology is replicated per node, so reads stay on
             # the GPU's own machine in multi-node clusters)
@@ -348,13 +413,14 @@ class EpochSimulator:
             for _ in range(max(0, cfg.prefetch_batches)):
                 pre_seeds = rng.choice(part, size=take, replace=False)
                 pre = sample_batch(ds.graph, pre_seeds, cfg.fanouts, seed=rng)
-                pre_bins, _ = self._gpu_demand(gpu, pre.unique_vertices)
+                pre_bins, _ = self._gpu_demand(gpu, pre.unique_vertices, view)
                 for bin_name, nbytes in sorted(pre_bins.items()):
-                    for f in self._feature_flows(bin_name, gpu, nbytes):
+                    for f in self._route_flows(bin_name, gpu, nbytes):
                         flows.append(
                             Flow(f.path, f.demand, ("prefetch", gpu))
                         )
-        fair = progressive_fill(flows, self._capacities)
+        capacities = self._capacities if view is None else view.capacities
+        fair = progressive_fill(flows, capacities)
         finish = fair.finish_by_tag()
         # steady-state pipelining: 1 + prefetch batches drain together,
         # so the per-step I/O time is the joint makespan amortised over
@@ -371,6 +437,8 @@ class EpochSimulator:
             ),
             default=0.0,
         )
+        if view is not None:
+            io_t += self._fault_step_costs(view, demand)
         sample_t = max(
             finish.get(("topo", g), 0.0) + sample_gpu_cost[g] for g in self.gpus
         )
@@ -388,8 +456,44 @@ class EpochSimulator:
         }
         return stages, fair, demand, local_total
 
+    def _fault_step_costs(self, view, demand: TrafficDemand) -> float:
+        """Extra I/O seconds and counters for one faulted step.
+
+        Faults whose onset is this step charge the retry-ladder
+        detection stall once; the retries burned against each newly
+        dead drive are counted from the bytes that had to re-route.
+        """
+        from repro.faults.models import SsdFailure
+        from repro.simulator.iostack import pages_for_bytes
+
+        tel = obs.active()
+        if tel is not None:
+            for f in view.activated:
+                obs.add("faults.injected", 1, kind=f.kind, target=f.target)
+        stall = 0.0
+        retry = self.config.retry
+        for f in view.activated:
+            if not isinstance(f, SsdFailure):
+                continue
+            stall += retry.detection_stall_s
+            if tel is not None:
+                rerouted = sum(
+                    nbytes
+                    for (src, _g), nbytes in demand.entries.items()
+                    if src == f.ssd + _RECOVERY_SUFFIX
+                )
+                obs.add(
+                    "io.retries",
+                    pages_for_bytes(rerouted, self.config.io.page_bytes)
+                    * retry.max_retries,
+                    ssd=f.ssd,
+                )
+        return stall
+
     def _tier_of(self, source: str) -> str:
         """Serving tier of one routable source node (telemetry label)."""
+        if source.endswith(_RECOVERY_SUFFIX):
+            return "recovery"
         if source in self._ssd_set:
             return "ssd"
         if source in self._mem_set:
@@ -417,6 +521,27 @@ class EpochSimulator:
                 if src_k.is_interconnect and dst_k.is_interconnect:
                     out.add(key)
         return out
+
+    def _route_flows(self, source: str, gpu: str, nbytes: float) -> List[Flow]:
+        """Flows for one demand entry, recovery-source aware.
+
+        A ``"{ssd}!recovery"`` source models the failed drive's pages
+        being served from the host-side replica: the flow squeezes
+        through the bounded ``("recovery", ssd)`` resource, then follows
+        the CPU-memory route into the GPU (spread over its local banks).
+        """
+        if not source.endswith(_RECOVERY_SUFFIX):
+            return self._feature_flows(source, gpu, nbytes)
+        ssd = source[: -len(_RECOVERY_SUFFIX)]
+        banks = self._local_mem_banks(gpu)
+        if not banks:
+            raise ValueError(f"no CPU banks to recover {ssd!r} reads through")
+        share = nbytes / len(banks)
+        tag = ("feat", gpu)
+        return [
+            Flow((("recovery", ssd),) + self.router.path(bank, gpu), share, tag)
+            for bank in banks
+        ]
 
     def _feature_flows(
         self, bin_name: str, gpu: str, nbytes: float
@@ -473,8 +598,15 @@ class EpochSimulator:
         return min(gpu_links) if gpu_links else 20e9
 
     # ------------------------------------------------------------------
-    def run_epoch(self) -> EpochResult:
-        """Simulate ``sample_batches`` steps and extrapolate one epoch."""
+    def run_epoch(self, on_step=None) -> EpochResult:
+        """Simulate ``sample_batches`` steps and extrapolate one epoch.
+
+        ``on_step(step, step_time, stages)`` is an optional per-step
+        hook (the replan policy): called after each simulated step, and
+        any float it returns is charged as extra seconds on that step
+        (e.g. migration time).  It may mutate the simulator through
+        :meth:`set_placement` before the next step.
+        """
         cfg = self.config
         ds = self.dataset
         rng = ensure_rng(cfg.seed)
@@ -495,6 +627,7 @@ class EpochSimulator:
         total_demand = TrafficDemand()
         stage_sums = {"io": 0.0, "sample": 0.0, "compute": 0.0, "sync": 0.0}
         step_time_sum = 0.0
+        step_times: List[float] = []
         local_sum = 0.0
         with obs.span(
             "epoch.run",
@@ -503,9 +636,14 @@ class EpochSimulator:
             steps_simulated=n_sim,
         ):
             for step in range(n_sim):
+                view = (
+                    self.injector.view(step)
+                    if self.injector is not None
+                    else None
+                )
                 with obs.span("epoch.step", step=step):
                     stages, fair, demand, local = self.simulate_step(
-                        rngs, parts
+                        rngs, parts, view
                     )
                 for k in stage_sums:
                     stage_sums[k] += stages[k]
@@ -514,7 +652,12 @@ class EpochSimulator:
                     max(stages["io"], stages["sample"], stages["compute"])
                     + stages["sync"]
                 )
+                if on_step is not None:
+                    extra = on_step(step, step_time, stages)
+                    if extra:
+                        step_time += float(extra)
                 step_time_sum += step_time
+                step_times.append(step_time)
                 if tel is not None:
                     for k, v in stages.items():
                         obs.observe("sim.stage_seconds", v, stage=k)
@@ -523,7 +666,7 @@ class EpochSimulator:
                 # (prefetch flows belong to later steps)
                 step_traffic: Dict = {}
                 for (bin_name, gpu), nbytes in demand.entries.items():
-                    for f in self._feature_flows(bin_name, gpu, nbytes):
+                    for f in self._route_flows(bin_name, gpu, nbytes):
                         for key in f.path:
                             step_traffic[key] = (
                                 step_traffic.get(key, 0.0) + f.demand
@@ -577,6 +720,7 @@ class EpochSimulator:
             external_bytes=external_bytes,
             traffic=traffic,
             demand=epoch_demand,
+            step_seconds=step_times,
         )
 
     def _export_epoch_metrics(

@@ -75,6 +75,17 @@ class TrafficAccount:
         """Bytes served from one storage device's egress port."""
         return self.by_resource.get(("egress", node), 0.0)
 
+    def recovery_bytes(self, node: Optional[str] = None) -> float:
+        """Bytes served over failed drives' replica-recovery paths
+        (one drive, or all when ``node`` is None)."""
+        if node is not None:
+            return self.by_resource.get(("recovery", node), 0.0)
+        return sum(
+            nbytes
+            for key, nbytes in self.by_resource.items()
+            if isinstance(key, tuple) and key and key[0] == "recovery"
+        )
+
     def link_utilization(
         self, seconds: float, capacities: Optional[Mapping[Hashable, float]] = None
     ) -> Dict[Tuple[str, str], float]:
@@ -122,6 +133,8 @@ class TrafficAccount:
                 obs.add("traffic.egress_bytes", nbytes, node=key[1])
             elif key[0] == "qpi_p2p":
                 obs.add("traffic.qpi_p2p_bytes", nbytes, src=key[1], dst=key[2])
+            elif key[0] == "recovery":
+                obs.add("faults.recovery_bytes", nbytes, ssd=key[1])
         for kind, nbytes in self.bytes_by_kind().items():
             obs.add("traffic.kind_bytes", nbytes, kind=kind)
         if seconds > 0:

@@ -1,0 +1,52 @@
+"""Repo hygiene: package layout invariants.
+
+Guards against the stale-``faults``-package failure mode: a directory
+under ``src/repro`` that contains (or once contained) Python modules but
+no ``__init__.py``.  Such a directory still imports on machines where an
+old ``__pycache__`` survives, then breaks everywhere else.
+"""
+
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _package_dirs():
+    """Every directory under src/repro that holds .py files."""
+    dirs = set()
+    for py in SRC.rglob("*.py"):
+        if "__pycache__" in py.parts:
+            continue
+        dirs.add(py.parent)
+    return sorted(dirs)
+
+
+def test_every_package_dir_has_init():
+    missing = [
+        str(d.relative_to(SRC.parent))
+        for d in _package_dirs()
+        if not (d / "__init__.py").is_file()
+    ]
+    assert not missing, f"package dirs missing __init__.py: {missing}"
+
+
+def test_no_pycache_only_package_dirs():
+    """A dir whose only Python artifacts live in __pycache__ is a stale
+    package: imports succeed locally off cached bytecode and fail on a
+    fresh checkout."""
+    stale = []
+    for d in SRC.rglob("__pycache__"):
+        parent = d.parent
+        has_sources = any(
+            p.suffix == ".py" for p in parent.iterdir() if p.is_file()
+        )
+        if not has_sources:
+            stale.append(str(parent.relative_to(SRC.parent)))
+    assert not stale, f"__pycache__-only dirs (stale packages): {stale}"
+
+
+def test_faults_is_a_real_package():
+    pkg = SRC / "faults"
+    assert (pkg / "__init__.py").is_file()
+    sources = [p.name for p in pkg.glob("*.py")]
+    assert "schedule.py" in sources and "injector.py" in sources

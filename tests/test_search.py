@@ -24,6 +24,7 @@ from repro.core.search import (
     EnumeratedSource,
     FlexibleMaxFlowScorer,
     MulticommodityScorer,
+    PRUNE_EQUIV_TOL,
     ScoredPlacement,
     SearchRequest,
     default_prune_bounds,
@@ -137,7 +138,9 @@ class TestEquivalence:
         assert on.pruned_by_bound > 0
         assert on.num_lp_scored + on.pruned_by_bound == off.num_lp_scored
         rel = abs(on.best.throughput - off.best.throughput) / off.best.throughput
-        assert rel <= 1e-9
+        # the pass-1 bound holds only to LP-solver tolerance, so the
+        # winner is preserved to PRUNE_EQUIV_TOL, not float epsilon
+        assert rel <= PRUNE_EQUIV_TOL
 
 
 class TestPruneNeverDropsArgmax:
@@ -171,7 +174,9 @@ class TestPruneNeverDropsArgmax:
         rel = abs(on.best.throughput - off.best.throughput) / (
             off.best.throughput
         )
-        assert rel <= 1e-9
+        # a pruned tie's exact score can exceed its pass-1 bound by
+        # solver noise; the guarantee is PRUNE_EQUIV_TOL (see search.py)
+        assert rel <= PRUNE_EQUIV_TOL
 
 
 class TestStreamingSource:
