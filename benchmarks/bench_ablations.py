@@ -16,6 +16,7 @@ from repro.core.placement import enumerate_placements
 from repro.core.symmetry import dedupe_placements
 from repro.experiments.figures import _dataset
 from repro.hardware.machines import classic_layouts, machine_a
+from repro.runtime.spec import RunSpec
 from repro.runtime.system import MomentSystem
 from repro.sampling.hotness import degree_proxy_hotness, presample_hotness
 
@@ -30,7 +31,7 @@ def machine():
 def test_symmetry_pruning(benchmark, machine, show, quick):
     """Orbit pruning shrinks the placement search space."""
     full = enumerate_placements(machine.chassis, 4, 8)
-    unique = benchmark(dedupe_placements, full, machine.chassis)
+    unique = run_once(benchmark, dedupe_placements, full, machine.chassis)
     print(
         f"\nsymmetry pruning: {len(full)} candidates -> {len(unique)} "
         f"({100 * (1 - len(unique) / len(full)):.0f}% pruned)"
@@ -45,7 +46,7 @@ def test_hotness_estimators(benchmark, machine, quick):
         ds.graph, ds.train_ids, ds.batch_size, (25, 10), max_batches=32,
         seed=0,
     )
-    proxy = benchmark(degree_proxy_hotness, ds.graph)
+    proxy = run_once(benchmark, degree_proxy_hotness, ds.graph)
     k = ds.graph.num_vertices // 20
     top_s = set(np.argsort(sampled)[-k:].tolist())
     top_p = set(np.argsort(proxy)[-k:].tolist())
@@ -59,13 +60,13 @@ def test_predictor_variants(benchmark, machine, quick, show):
     simulator more closely (the reason pass 2 exists)."""
     ds = _dataset("IG", quick)
     moment = MomentSystem(machine)
-    r = moment.run(ds, num_gpus=4, sample_batches=3)
+    r = moment.run(RunSpec(dataset=ds, num_gpus=4, sample_batches=3))
     epoch = r.epoch
     io_epoch = epoch.io_seconds * epoch.num_steps
     measured = epoch.external_bytes / io_epoch
     topo = machine.build(r.placement)
 
-    lp = benchmark(multicommodity_min_time, topo, epoch.demand)
+    lp = run_once(benchmark, multicommodity_min_time, topo, epoch.demand)
     lp_pred = epoch.demand.total / lp.time
     sc = min_completion_time(topo, epoch.demand)
     sc_pred = epoch.demand.total / sc.time

@@ -37,6 +37,7 @@ from repro.faults import FaultSchedule
 from repro.runtime.spec import RunSpec
 from repro.runtime.system import MomentSystem, SystemResult
 from repro.api import run
+from repro.warehouse import RunTable
 
 __version__ = "1.0.0"
 
@@ -64,6 +65,7 @@ __all__ = [
     "SystemResult",
     "RunSpec",
     "FaultSchedule",
+    "RunTable",
     "run",
     "__version__",
 ]

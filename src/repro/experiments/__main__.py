@@ -12,7 +12,11 @@ Usage::
 ``--trace`` prints the telemetry report (span tree, tier breakdown,
 busiest links) after each experiment; ``--json-out`` appends one
 structured JSONL run record per experiment (schema documented in
-EXPERIMENTS.md).  Either flag enables telemetry for the run.
+EXPERIMENTS.md) — by default it *appends* (``--json-out-mode
+overwrite`` truncates once at startup), and a run that raises
+mid-epoch still flushes its partial record with an ``error`` field
+before the exception propagates.  Either flag enables telemetry for
+the run.
 ``--search-workers`` / ``--prune-bounds`` set the placement-search
 engine's process-wide defaults (see :mod:`repro.core.search`).
 """
@@ -52,7 +56,15 @@ def main(argv=None) -> int:
         metavar="PATH",
         default=None,
         help="enable telemetry and append one JSONL run record per "
-        "experiment to PATH",
+        "experiment to PATH (even for runs that raise mid-epoch: the "
+        "partial span tree/metrics are flushed with an 'error' field)",
+    )
+    parser.add_argument(
+        "--json-out-mode",
+        choices=("append", "overwrite"),
+        default="append",
+        help="append to an existing --json-out file (default, the "
+        "historical behaviour) or truncate it once at startup",
     )
     parser.add_argument(
         "--faults",
@@ -99,22 +111,41 @@ def main(argv=None) -> int:
 
     ids = list_experiments() if args.experiment == "all" else [args.experiment]
     telemetry_on = args.trace or args.json_out is not None
+    if args.json_out and args.json_out_mode == "overwrite":
+        # truncate exactly once; the per-experiment writes below append
+        open(args.json_out, "w", encoding="utf-8").close()
     for exp in ids:
         if telemetry_on:
+            result = None
+            error = None
             with obs.capture() as tel:
-                result = run_experiment(exp, quick=args.quick, faults=faults)
+                try:
+                    result = run_experiment(
+                        exp, quick=args.quick, faults=faults
+                    )
+                except Exception as err:  # noqa: BLE001 - flushed + re-raised
+                    error = err
             record = obs.build_run_record(
                 run_id=exp,
                 config={
                     "experiment": exp,
                     "quick": args.quick,
-                    "title": result.title,
+                    "title": getattr(result, "title", None),
                 },
                 telemetry=tel,
                 meta=obs.run_metadata(),
             )
+            if error is not None:
+                # flush the partial span tree/metrics so the record of
+                # a crashed run is not lost, then re-raise
+                record["error"] = {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                }
             if args.json_out:
                 obs.append_jsonl(args.json_out, record)
+            if error is not None:
+                raise error
             result.print()
             if args.trace:
                 print()

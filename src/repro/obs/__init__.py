@@ -22,6 +22,7 @@ this up end to end; see EXPERIMENTS.md for the record schema.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -44,6 +45,7 @@ __all__ = [
     "Tracer",
     "MetricsRegistry",
     "traced",
+    "default_histogram_max_samples",
     "enable",
     "disable",
     "active",
@@ -64,11 +66,36 @@ __all__ = [
 ]
 
 
-class Telemetry:
-    """One telemetry session: a metrics registry plus a span tracer."""
+def default_histogram_max_samples() -> Optional[int]:
+    """The env-configured histogram sample cap (None = exact mode).
 
-    def __init__(self) -> None:
-        self.registry = MetricsRegistry()
+    ``REPRO_OBS_HIST_MAX=N`` bounds every histogram of new sessions at
+    N reservoir-sampled values so long simulations cannot grow memory
+    without limit; unset/0 keeps the exact default.
+    """
+    raw = os.environ.get("REPRO_OBS_HIST_MAX", "").strip()
+    if not raw:
+        return None
+    n = int(raw)
+    return n if n > 0 else None
+
+
+class Telemetry:
+    """One telemetry session: a metrics registry plus a span tracer.
+
+    ``histogram_max_samples`` bounds histogram memory (opt-in reservoir
+    sampling; see :class:`repro.obs.metrics.Histogram`).  The sentinel
+    ``"env"`` (the default) reads ``REPRO_OBS_HIST_MAX``.
+    """
+
+    def __init__(
+        self, histogram_max_samples: object = "env"
+    ) -> None:
+        if histogram_max_samples == "env":
+            histogram_max_samples = default_histogram_max_samples()
+        self.registry = MetricsRegistry(
+            histogram_max_samples=histogram_max_samples
+        )
         self.tracer = Tracer()
 
     def snapshot(self) -> Dict[str, object]:
@@ -112,10 +139,10 @@ def active() -> Optional[Telemetry]:
     return _ACTIVE
 
 
-def enable() -> Telemetry:
+def enable(histogram_max_samples: object = "env") -> Telemetry:
     """Start a fresh process-wide telemetry session and return it."""
     global _ACTIVE
-    _ACTIVE = Telemetry()
+    _ACTIVE = Telemetry(histogram_max_samples=histogram_max_samples)
     return _ACTIVE
 
 
@@ -126,11 +153,13 @@ def disable() -> None:
 
 
 @contextmanager
-def capture() -> Iterator[Telemetry]:
+def capture(
+    histogram_max_samples: object = "env",
+) -> Iterator[Telemetry]:
     """Enable a fresh session for the block, restoring the prior state."""
     global _ACTIVE
     previous = _ACTIVE
-    _ACTIVE = Telemetry()
+    _ACTIVE = Telemetry(histogram_max_samples=histogram_max_samples)
     try:
         yield _ACTIVE
     finally:

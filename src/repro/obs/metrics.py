@@ -13,6 +13,8 @@ registry is active, which is the hot-path fast path).
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -74,31 +76,72 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Full-fidelity sample store with percentile queries.
+    """Sample store with percentile queries: exact by default, bounded
+    on request.
 
-    Simulated runs observe at most thousands of samples per metric, so
-    we keep every value (exact percentiles, delta-able snapshots)
-    rather than bucketing.
+    Short simulated runs observe at most thousands of samples per
+    metric, so the default keeps every value (exact percentiles,
+    delta-able snapshots).  Long simulations can cap memory with
+    ``max_samples``: past the cap, reservoir sampling (Algorithm R with
+    a per-key deterministic RNG) keeps a uniform sample for the
+    percentile queries while ``count``/``total``/``mean`` stay *exact*
+    via separate accumulators.
     """
 
     key: MetricKey
     values: List[float] = field(default_factory=list)
+    #: None = keep every sample (exact mode, the default); an int caps
+    #: ``values`` at that many reservoir-sampled entries.
+    max_samples: Optional[int] = None
+    _seen: int = field(init=False, default=0)
+    _total: float = field(init=False, default=0.0)
+    _rng: Optional[random.Random] = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.max_samples is not None and self.max_samples < 1:
+            raise ValueError(
+                f"max_samples must be >= 1, got {self.max_samples}"
+            )
+        # a histogram may be seeded with initial values (the stats()
+        # sub-window construction does this)
+        self._seen = len(self.values)
+        self._total = float(sum(self.values))
+
+    @property
+    def sampled(self) -> bool:
+        """Whether the reservoir has dropped any sample."""
+        return self._seen > len(self.values)
 
     def observe(self, value: float) -> None:
         """Record one sample."""
-        self.values.append(float(value))
+        value = float(value)
+        self._seen += 1
+        self._total += value
+        if self.max_samples is None or len(self.values) < self.max_samples:
+            self.values.append(value)
+            return
+        if self._rng is None:
+            # deterministic per-key stream: runs are reproducible
+            self._rng = random.Random(
+                zlib.crc32(render_key(self.key).encode())
+            )
+        j = self._rng.randrange(self._seen)
+        if j < self.max_samples:
+            self.values[j] = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        """Exact number of observations (not the reservoir size)."""
+        return self._seen
 
     @property
     def total(self) -> float:
-        return float(sum(self.values))
+        """Exact running sum of every observation."""
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.values else math.nan
+        return self._total / self._seen if self._seen else math.nan
 
     def percentile(self, q: float) -> float:
         """Exact q-th percentile (q in [0, 100], linear interpolation)."""
@@ -116,14 +159,28 @@ class Histogram:
         return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
     def stats(self, since: int = 0) -> Dict[str, float]:
-        """Summary statistics over ``values[since:]`` (JSON-ready)."""
-        window = self.values[since:]
-        if not window:
-            return {"count": 0}
+        """Summary statistics over ``values[since:]`` (JSON-ready).
+
+        In exact mode ``since`` selects the delta window precisely.
+        Once the reservoir has dropped samples the per-observation
+        window no longer exists; the percentiles then come from the
+        whole uniform sample, the count stays the exact delta, and the
+        snapshot is marked ``"approx": True``.
+        """
+        if self.sampled:
+            window = list(self.values)
+            count = self._seen - since
+            if count <= 0 or not window:
+                return {"count": 0}
+        else:
+            window = self.values[since:]
+            count = len(window)
+            if not window:
+                return {"count": 0}
         ordered = sorted(window)
         sub = Histogram(self.key, ordered)
-        return {
-            "count": len(window),
+        out = {
+            "count": count,
             "sum": float(sum(window)),
             "mean": float(sum(window) / len(window)),
             "min": ordered[0],
@@ -132,15 +189,26 @@ class Histogram:
             "p90": sub.percentile(90),
             "p99": sub.percentile(99),
         }
+        if self.sampled:
+            out["approx"] = True
+        return out
 
 
 class MetricsRegistry:
-    """All metrics of one telemetry session."""
+    """All metrics of one telemetry session.
 
-    def __init__(self) -> None:
+    ``histogram_max_samples`` caps every histogram's stored samples
+    with the opt-in reservoir (see :class:`Histogram`); ``None`` (the
+    default) keeps exact mode, right for short runs.
+    """
+
+    def __init__(
+        self, histogram_max_samples: Optional[int] = None
+    ) -> None:
         self.counters: Dict[MetricKey, Counter] = {}
         self.gauges: Dict[MetricKey, Gauge] = {}
         self.histograms: Dict[MetricKey, Histogram] = {}
+        self.histogram_max_samples = histogram_max_samples
 
     # -- metric factories (get-or-create) ------------------------------
     def counter(self, name: str, **labels: object) -> Counter:
@@ -164,7 +232,9 @@ class MetricsRegistry:
         try:
             return self.histograms[key]
         except KeyError:
-            h = self.histograms[key] = Histogram(key)
+            h = self.histograms[key] = Histogram(
+                key, max_samples=self.histogram_max_samples
+            )
             return h
 
     # -- queries --------------------------------------------------------

@@ -76,6 +76,11 @@ class SystemResult:
     #: What the replan policy observed/did (None unless the run had a
     #: fault schedule and replanning enabled).
     replan: Optional[object] = None
+    #: Workload seed the run actually used (None when the system was
+    #: seeded with a live Generator — not recordable).
+    seed: Optional[int] = None
+    #: Repetition index from the spec (0 = canonical run).
+    repetition: int = 0
 
     @property
     def ok(self) -> bool:
@@ -111,12 +116,15 @@ class SystemResult:
         """JSON-serializable record of this run (schema
         :data:`RUN_RECORD_SCHEMA`).
 
-        Carries the scalar outcome: identity fields, the epoch's
-        timings/throughput/trajectory and the replan report.  Rich
-        in-memory objects (plan, data placement, per-link traffic,
-        demand matrix, telemetry) are intentionally *not* serialized —
-        re-run with telemetry capture for those.  The CLI ``--json-out``,
-        the benchmarks and the fault bench all emit this shape.
+        Carries the scalar outcome: identity fields, seed/repetition
+        provenance, the epoch's timings/throughput/trajectory, the
+        replan report, and — when the run executed under telemetry —
+        the scoped spans + metric deltas (already JSON-ready, see
+        :class:`repro.obs.RunScope`).  Rich in-memory objects (plan,
+        data placement, per-link traffic, demand matrix) are
+        intentionally *not* serialized — re-run for those.  The CLI
+        ``--json-out``, the benchmarks and the fault bench all emit
+        this shape.
         """
         epoch = None
         if self.epoch is not None:
@@ -172,8 +180,11 @@ class SystemResult:
             "dataset": self.dataset,
             "model": self.model,
             "num_gpus": int(self.num_gpus),
+            "seed": self.seed,
+            "repetition": int(self.repetition),
             "ok": self.ok,
             "oom": self.oom,
+            "telemetry": self.telemetry,
             "placement": (
                 list(self.placement.as_tuple())
                 if self.placement is not None
@@ -189,8 +200,10 @@ class SystemResult:
 
         The epoch comes back with empty ``traffic``/``demand`` (those
         are not serialized); ``plan``/``placement``/``data_placement``/
-        ``search``/``telemetry`` are ``None``; ``replan`` is the plain
-        record dict (not a :class:`~repro.runtime.replan.ReplanReport`).
+        ``search`` are ``None``; ``replan`` is the plain record dict
+        (not a :class:`~repro.runtime.replan.ReplanReport`) and
+        ``telemetry`` the plain spans+metrics payload (round-tripped
+        verbatim; None for pre-telemetry records).
         """
         schema = record.get("schema")
         if schema != RUN_RECORD_SCHEMA:
@@ -227,6 +240,9 @@ class SystemResult:
             epoch=epoch,
             oom=record.get("oom"),
             replan=record.get("replan"),
+            telemetry=record.get("telemetry"),
+            seed=record.get("seed"),
+            repetition=int(record.get("repetition", 0)),
         )
 
 
@@ -385,7 +401,15 @@ class GnnSystem:
             model=spec.model,
             gpus=spec.num_gpus,
         ) as sp:
-            result = self._run(spec)
+            # spec.seed overrides the system's seed for this run only
+            # (repetition driver: same system, derived per-rep seeds)
+            prev_seed = self.seed
+            if spec.seed is not None:
+                self.seed = spec.seed
+            try:
+                result = self._run(spec)
+            finally:
+                self.seed = prev_seed
             sp.set(ok=result.ok)
         if scope is not None:
             result.telemetry = scope.collect()
@@ -408,6 +432,8 @@ class GnnSystem:
             dataset=dataset.spec.key,
             model=model,
             num_gpus=num_gpus,
+            seed=self.seed if isinstance(self.seed, int) else None,
+            repetition=spec.repetition,
         )
         try:
             extra = self.extra_gpu_reservations(dataset, num_gpus)

@@ -25,6 +25,32 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def derive_seed(base: SeedLike, repetition: int) -> int:
+    """A stable integer seed for repetition ``repetition`` of a run.
+
+    Repetition 0 is the canonical run and keeps the base seed
+    unchanged (bit-identical to the one-shot path); later repetitions
+    derive independent streams through :class:`numpy.random.SeedSequence`
+    spawn keys, so the mapping is stable across processes and machines
+    (the warehouse relies on that to key run-table rows on seed).
+
+    A ``Generator`` base is rejected: repetitions need a value that can
+    be recorded and replayed.
+    """
+    if isinstance(base, np.random.Generator):
+        raise TypeError(
+            "derive_seed needs an integer (or None) base seed, not a "
+            "Generator — repetitions must be recordable"
+        )
+    if repetition < 0:
+        raise ValueError(f"repetition must be >= 0, got {repetition}")
+    root = 0 if base is None else int(base)
+    if repetition == 0:
+        return root
+    ss = np.random.SeedSequence(root, spawn_key=(repetition,))
+    return int(ss.generate_state(1, dtype=np.uint32)[0])
+
+
 def spawn_rngs(seed: SeedLike, n: int) -> list:
     """Derive ``n`` independent child generators from one seed.
 

@@ -1,0 +1,82 @@
+"""repro.warehouse — the results warehouse.
+
+Turns the one-shot benchmark figures into a tracked trajectory:
+
+* :mod:`~repro.warehouse.table` — the columnar run-table
+  (``repro.table/v1``, one row per run × repetition);
+* :mod:`~repro.warehouse.ingest` — ``repro.obs/v1`` / ``repro.run/v1``
+  JSONL → run-table, tolerant of malformed lines;
+* :mod:`~repro.warehouse.stats` — CIs (t / bootstrap), Welch's t-test,
+  noise bands;
+* :mod:`~repro.warehouse.repeat` — N repetitions with derived seeds;
+* :mod:`~repro.warehouse.gate` — the CI perf-regression gate;
+* :mod:`~repro.warehouse.report` — summary/compare renderers.
+
+CLI: ``python -m repro.warehouse {ingest,report,compare,gate,repeat}``
+(schema and methodology documented in EXPERIMENTS.md).
+"""
+
+from repro.warehouse.gate import (
+    DEFAULT_TRACKED,
+    GateConfig,
+    GateReport,
+    GateVerdict,
+    gate,
+    metric_direction,
+)
+from repro.warehouse.ingest import (
+    IngestReport,
+    ingest_jsonl,
+    ingest_records,
+)
+from repro.warehouse.repeat import repeat_experiment, repeat_runspec
+from repro.warehouse.report import (
+    render_compare,
+    render_provenance,
+    render_table,
+)
+from repro.warehouse.stats import (
+    Summary,
+    WelchResult,
+    bootstrap_ci,
+    noise_band,
+    summarize,
+    welch_t,
+)
+from repro.warehouse.table import (
+    KEY_COLUMNS,
+    TABLE_SCHEMA,
+    RunTable,
+    concat,
+    is_metric_column,
+    metric_column,
+)
+
+__all__ = [
+    "DEFAULT_TRACKED",
+    "GateConfig",
+    "GateReport",
+    "GateVerdict",
+    "gate",
+    "metric_direction",
+    "IngestReport",
+    "ingest_jsonl",
+    "ingest_records",
+    "repeat_experiment",
+    "repeat_runspec",
+    "render_compare",
+    "render_provenance",
+    "render_table",
+    "Summary",
+    "WelchResult",
+    "bootstrap_ci",
+    "noise_band",
+    "summarize",
+    "welch_t",
+    "KEY_COLUMNS",
+    "TABLE_SCHEMA",
+    "RunTable",
+    "concat",
+    "is_metric_column",
+    "metric_column",
+]

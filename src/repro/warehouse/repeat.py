@@ -1,0 +1,137 @@
+"""Repetition driver: run the same workload N times with derived seeds.
+
+Two entry points:
+
+* :func:`repeat_runspec` — re-execute one frozen
+  :class:`~repro.runtime.spec.RunSpec` N times.  Repetition ``r`` runs
+  ``spec.with_repetition(r)``: repetition 0 keeps the base seed
+  (bit-identical to the one-shot run), later repetitions get seeds
+  derived via :func:`repro.utils.rng.derive_seed` so arms stay
+  independent but reproducible.
+* :func:`repeat_experiment` — re-run a registered experiment id N
+  times under telemetry capture.  The figure runners are seed-stable
+  by design, so here repetitions measure *wall-time* noise (LP solver,
+  scheduling) — exactly the band the regression gate needs.
+
+Both return JSON-ready ``repro.obs/v1`` records tagged with seed,
+repetition index, and git SHA, ready for :mod:`repro.warehouse.ingest`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro import obs
+from repro.runtime.spec import RunSpec
+from repro.runtime.system import GnnSystem, SystemResult
+
+
+def repeat_runspec(
+    system: GnnSystem,
+    spec: RunSpec,
+    repetitions: int,
+    run_id: str = "runspec",
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """Run ``spec`` ``repetitions`` times; one tagged record per rep.
+
+    Each record's ``derived.bench`` carries the run's scalar outcome
+    (throughput, epoch seconds) and its ``config.result`` the full
+    ``repro.run/v1`` record, so ingest sees both shapes.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    records = []
+    for rep in range(repetitions):
+        rep_spec = spec.with_repetition(rep)
+        with obs.capture() as tel:
+            result = system.run(rep_spec)
+        records.append(
+            _record_for(
+                run_id=run_id,
+                telemetry=tel,
+                repetition=rep,
+                seed=rep_spec.seed,
+                result=result,
+                extra_meta=extra_meta,
+            )
+        )
+    return records
+
+
+def repeat_experiment(
+    experiment_id: str,
+    repetitions: int,
+    quick: bool = True,
+    runner: Optional[Callable] = None,
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """Run one registered experiment N times under telemetry capture."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    if runner is None:
+        from repro.experiments.registry import run_experiment
+
+        def runner(**kw):  # noqa: F811 - default runner
+            return run_experiment(experiment_id, **kw)
+
+    records = []
+    for rep in range(repetitions):
+        with obs.capture() as tel:
+            result = runner(quick=quick)
+        bench: Dict[str, float] = {}
+        data = getattr(result, "data", None)
+        if isinstance(data, dict):
+            for k, v in data.items():
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    bench[f"data:{k}"] = float(v)
+        elapsed = getattr(result, "elapsed_seconds", None)
+        if elapsed is not None:
+            bench["experiment_elapsed_s"] = float(elapsed)
+        record = obs.build_run_record(
+            run_id=experiment_id,
+            config={"experiment": experiment_id, "quick": quick},
+            telemetry=tel,
+            meta=obs.run_metadata(
+                seed=0,
+                repetition=rep,
+                scale_profile="quick" if quick else "full",
+                experiment=experiment_id,
+                **(extra_meta or {}),
+            ),
+        )
+        if bench:
+            record.setdefault("derived", {})["bench"] = bench
+        records.append(record)
+    return records
+
+
+def _record_for(
+    run_id: str,
+    telemetry,
+    repetition: int,
+    seed,
+    result: SystemResult,
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    bench: Dict[str, float] = {"ok": 1.0 if result.ok else 0.0}
+    if result.ok:
+        bench["seeds_per_s"] = float(result.seeds_per_s)
+        bench["paper_epoch_seconds"] = float(result.paper_epoch_seconds)
+        bench["epoch_seconds"] = float(result.epoch.epoch_seconds)
+    record = obs.build_run_record(
+        run_id=run_id,
+        config={
+            "benchmark": run_id,
+            "result": result.to_dict(),
+        },
+        telemetry=telemetry,
+        meta=obs.run_metadata(
+            seed=seed,
+            repetition=repetition,
+            dataset=result.dataset,
+            **(extra_meta or {}),
+        ),
+    )
+    record.setdefault("derived", {})["bench"] = bench
+    return record

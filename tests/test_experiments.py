@@ -4,6 +4,8 @@ The heavy per-figure runners are exercised by ``benchmarks/``; here we
 check the registry wiring and run the cheap ones end-to-end.
 """
 
+import json
+
 import pytest
 
 from repro.experiments.figures import (
@@ -61,3 +63,66 @@ class TestRunners:
         result = run_table1_machines()
         text = result.render()
         assert "table1" in text and "regenerated" in text
+
+
+class TestCliJsonOut:
+    def _run(self, argv):
+        import repro.experiments.__main__ as cli
+
+        return cli.main(argv)
+
+    def test_json_out_appends_by_default(self, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        out.write_text('{"earlier": true}\n')
+        assert self._run(
+            ["table1", "--quick", "--json-out", str(out)]
+        ) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 2  # prior record kept
+        record = json.loads(lines[1])
+        assert record["schema"] == "repro.obs/v1"
+        assert record["run_id"] == "table1"
+        assert "error" not in record
+
+    def test_json_out_overwrite_truncates_once(self, tmp_path):
+        out = tmp_path / "runs.jsonl"
+        out.write_text('{"stale": true}\n')
+        assert self._run(
+            [
+                "table1",
+                "--quick",
+                "--json-out",
+                str(out),
+                "--json-out-mode",
+                "overwrite",
+            ]
+        ) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["run_id"] == "table1"
+
+    def test_crashed_run_still_flushes_partial_record(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.experiments.__main__ as cli
+        from repro import obs
+
+        def boom(exp, quick=False, faults=None):
+            with obs.span("epoch.partial"):
+                obs.add("partial.bytes", 123.0)
+            raise RuntimeError("mid-epoch OOM")
+
+        monkeypatch.setattr(cli, "run_experiment", boom)
+        out = tmp_path / "runs.jsonl"
+        with pytest.raises(RuntimeError, match="mid-epoch OOM"):
+            self._run(["fig10", "--quick", "--json-out", str(out)])
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["error"] == {
+            "type": "RuntimeError",
+            "message": "mid-epoch OOM",
+        }
+        # the partial span tree and metrics made it to disk
+        assert [s["name"] for s in record["spans"]] == ["epoch.partial"]
+        assert record["metrics"]["counters"]["partial.bytes"] == 123.0

@@ -435,3 +435,74 @@ class TestSimulatorTelemetry:
             dataset, num_gpus=2, num_ssds=2, sample_batches=2
         )
         assert result.telemetry is None
+
+
+# ----------------------------------------------------------------------
+# Bounded histograms (opt-in reservoir)
+# ----------------------------------------------------------------------
+
+
+class TestBoundedHistograms:
+    def test_exact_mode_is_the_default_and_unchanged(self):
+        h = Histogram(metric_key("h", {}))
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h.values) == 10_000 and not h.sampled
+        assert "approx" not in h.stats()
+
+    def test_reservoir_bounds_memory_keeps_exact_moments(self):
+        h = Histogram(metric_key("h", {}), max_samples=100)
+        n = 10_000
+        for v in range(1, n + 1):
+            h.observe(float(v))
+        assert len(h.values) == 100  # bounded
+        assert h.sampled
+        assert h.count == n  # exact accumulators
+        assert h.total == n * (n + 1) / 2
+        assert h.mean == pytest.approx((n + 1) / 2)
+        stats = h.stats()
+        assert stats["approx"] is True
+        assert stats["count"] == n
+        # a uniform sample of 1..n has percentiles near the truth
+        assert stats["p50"] == pytest.approx(n / 2, rel=0.35)
+
+    def test_reservoir_is_deterministic_per_key(self):
+        def fill():
+            h = Histogram(metric_key("sim.step", {"gpu": "g0"}),
+                          max_samples=50)
+            for v in range(1000):
+                h.observe(float(v))
+            return list(h.values)
+
+        assert fill() == fill()
+
+    def test_sampled_delta_window_degrades_gracefully(self):
+        h = Histogram(metric_key("h", {}), max_samples=10)
+        for v in range(100):
+            h.observe(float(v))
+        delta = h.stats(since=90)
+        assert delta["count"] == 10 and delta.get("approx") is True
+
+    def test_max_samples_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(metric_key("h", {}), max_samples=0)
+
+    def test_registry_threads_cap_to_new_histograms(self):
+        reg = MetricsRegistry(histogram_max_samples=5)
+        h = reg.histogram("h")
+        for v in range(20):
+            h.observe(float(v))
+        assert len(h.values) == 5 and h.count == 20
+
+    def test_env_default_applies_to_sessions(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_HIST_MAX", "7")
+        assert obs.default_histogram_max_samples() == 7
+        with obs.capture() as tel:
+            h = tel.registry.histogram("h")
+            for v in range(100):
+                h.observe(float(v))
+        assert len(h.values) == 7 and h.count == 100
+        monkeypatch.setenv("REPRO_OBS_HIST_MAX", "0")
+        assert obs.default_histogram_max_samples() is None
+        monkeypatch.delenv("REPRO_OBS_HIST_MAX")
+        assert obs.default_histogram_max_samples() is None
