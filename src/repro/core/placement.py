@@ -56,6 +56,12 @@ class SlotGroup:
         Device kinds that physically fit (``{"gpu", "ssd"}``).
     bus_label:
         Optional bus name from the paper's figures for reports.
+    tag:
+        Free-form electrical identity marker.  Groups whose slots host
+        different device *parts* (e.g. mixed GPU generations on a
+        heterogeneous fabric) carry distinct tags so the symmetry
+        engine never treats them as swappable.  Empty for homogeneous
+        machines (the historical behaviour).
     """
 
     name: str
@@ -64,6 +70,7 @@ class SlotGroup:
     link_bw: float
     allowed: FrozenSet[str] = frozenset(DEVICE_KINDS)
     bus_label: str = ""
+    tag: str = ""
 
     def __post_init__(self) -> None:
         if self.units <= 0:
@@ -215,6 +222,19 @@ class Placement:
         """Devices of ``kind`` installed in ``group``."""
         return self._counts.get(group, {}).get(kind, 0)
 
+    def rebind(self, chassis: Chassis, name: Optional[str] = None) -> "Placement":
+        """The same counts bound to a structurally equivalent chassis.
+
+        Useful when two construction paths produce equal chassis (e.g.
+        a legacy constructor and a compiled fabric spec): placements
+        compare and build against ``placement.chassis``, so a layout
+        made for one instance must be rebound before use on the other.
+        Raises if ``chassis`` lacks any group this placement populates.
+        """
+        return Placement(
+            chassis, self._counts, name if name is not None else self.name
+        )
+
     def total(self, kind: str) -> int:
         """Total devices of ``kind`` across all groups."""
         return sum(row.get(kind, 0) for row in self._counts.values())
@@ -270,6 +290,8 @@ def build_topology(
     nvlink_pairs: Optional[Sequence[Tuple[int, int]]] = None,
     nvlink_bw: Optional[float] = None,
     name: Optional[str] = None,
+    gpu_specs: Optional[Mapping[str, "GpuSpec"]] = None,
+    ssd_specs: Optional[Mapping[str, "SsdSpec"]] = None,
 ) -> Topology:
     """Instantiate the runtime :class:`Topology` for a placement.
 
@@ -279,6 +301,11 @@ def build_topology(
     caches participate in the flow model like any other storage tier.
 
     ``nvlink_pairs`` adds GPU<->GPU NVLink edges by GPU index (Fig. 18).
+
+    ``gpu_specs``/``ssd_specs`` map slot-group name -> device part for
+    heterogeneous fabrics (mixed GPU generations, slower drive models
+    in some bays); groups not listed fall back to ``gpu_spec``/
+    ``ssd_spec``.
     """
     from repro.hardware.specs import GPU_HBM_BW
 
@@ -299,10 +326,12 @@ def build_topology(
     gpu_i = 0
     ssd_i = 0
     for group in chassis.slot_groups:
+        g_spec = (gpu_specs or {}).get(group.name, gpu_spec)
+        s_spec = (ssd_specs or {}).get(group.name, ssd_spec)
         for _ in range(placement.count(group.name, GPU)):
             gname = f"gpu{gpu_i}"
             topo.add(gname, NodeKind.GPU)
-            bw = min(group.link_bw, gpu_spec.link_bw)
+            bw = min(group.link_bw, g_spec.link_bw)
             topo.add_link(gname, group.attach, bw, LinkKind.PCIE, group.bus_label)
             mem_name = f"{gname}:mem"
             topo.add(mem_name, NodeKind.GPU_MEM, egress_bw=GPU_HBM_BW)
@@ -310,8 +339,8 @@ def build_topology(
             gpu_i += 1
         for _ in range(placement.count(group.name, SSD)):
             sname = f"ssd{ssd_i}"
-            topo.add(sname, NodeKind.SSD, egress_bw=ssd_spec.read_bw)
-            bw = min(group.link_bw, ssd_spec.link_bw)
+            topo.add(sname, NodeKind.SSD, egress_bw=s_spec.read_bw)
+            bw = min(group.link_bw, s_spec.link_bw)
             topo.add_link(sname, group.attach, bw, LinkKind.PCIE, group.bus_label)
             ssd_i += 1
 

@@ -290,6 +290,32 @@ class ExplicitSource:
             yield placement, placement.as_tuple()
 
 
+def sample_placements(
+    chassis: Chassis,
+    num_gpus: int,
+    num_ssds: int,
+    cap: int = 16,
+) -> List[Placement]:
+    """A deterministic, symmetry-deduped sample of the search space.
+
+    Arbitrary compiled fabrics (generated heterogeneous chassis) can
+    enumerate thousands of canonical placements; sweeps that only need
+    a representative candidate set stride-sample ``cap`` of them so a
+    restricted search stays bounded on any fabric.  ``cap <= 0``, or a
+    space no larger than ``cap``, returns every canonical placement.
+    """
+    filt = CanonicalFilter(chassis)
+    canon = [
+        p
+        for p in iter_placements(chassis, num_gpus, num_ssds)
+        if filt.admit(p) is not None
+    ]
+    if cap <= 0 or len(canon) <= cap:
+        return canon
+    stride = len(canon) / cap
+    return [canon[int(i * stride)] for i in range(cap)]
+
+
 # ----------------------------------------------------------------------
 # Scorers (pipeline stages)
 # ----------------------------------------------------------------------

@@ -57,6 +57,10 @@ def _skeleton(chassis: Chassis):
                 g.units,
                 round(g.link_bw),
                 tuple(sorted(g.allowed)),
+                # electrical-identity tag: groups hosting different
+                # device parts (mixed GPU generations) must never be
+                # treated as swappable even when units/bw/kinds match
+                g.tag,
             ),
         )
 

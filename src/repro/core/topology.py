@@ -53,8 +53,12 @@ class NodeKind(enum.Enum):
 
     @property
     def is_interconnect(self) -> bool:
-        """Whether nodes of this kind only forward traffic."""
-        return self in (NodeKind.ROOT_COMPLEX, NodeKind.SWITCH)
+        """Whether nodes of this kind only forward traffic.
+
+        NICs count: a NIC-attached storage shelf (NVMe-oF style) is a
+        forwarding stage between its drives and the PCIe fabric.
+        """
+        return self in (NodeKind.ROOT_COMPLEX, NodeKind.SWITCH, NodeKind.NIC)
 
 
 class LinkKind(enum.Enum):

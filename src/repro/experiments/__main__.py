@@ -76,6 +76,15 @@ def main(argv=None) -> int:
         "(see repro.faults.FaultSchedule.parse)",
     )
     parser.add_argument(
+        "--fabric",
+        metavar="TARGET",
+        default=None,
+        help="run fabric-aware experiments on this hardware instead of "
+        "the paper default; TARGET resolves through the machine "
+        "registry ('machine_b', 'gen:<seed>', a repro.fabric/v1 JSON "
+        "or chassis text file)",
+    )
+    parser.add_argument(
         "--search-workers",
         type=int,
         metavar="N",
@@ -102,6 +111,11 @@ def main(argv=None) -> int:
         from repro.faults import FaultSchedule
 
         faults = FaultSchedule.parse(args.faults)
+    machine = None
+    if args.fabric is not None:
+        from repro.hardware.registry import get_machine
+
+        machine = get_machine(args.fabric)
 
     if not args.experiment:
         print("available experiments:")
@@ -121,7 +135,8 @@ def main(argv=None) -> int:
             with obs.capture() as tel:
                 try:
                     result = run_experiment(
-                        exp, quick=args.quick, faults=faults
+                        exp, quick=args.quick, faults=faults,
+                        machine=machine,
                     )
                 except Exception as err:  # noqa: BLE001 - flushed + re-raised
                     error = err
@@ -151,7 +166,9 @@ def main(argv=None) -> int:
                 print()
                 print(obs.report.render_record(record))
         else:
-            result = run_experiment(exp, quick=args.quick, faults=faults)
+            result = run_experiment(
+                exp, quick=args.quick, faults=faults, machine=machine
+            )
             result.print()
         print()
     return 0

@@ -1,0 +1,278 @@
+"""Fabric sweep: invariant harness over generated heterogeneous fabrics.
+
+Each seeded fabric from :func:`repro.hardware.generate.generate_fabric`
+is compiled to a machine and driven through the full stack (search,
+optimizer, simulator, faults, replanning).  Four properties must hold on
+*every* fabric — they are statements about the model, not about any one
+machine:
+
+* **ddak_beats_hash** — on the searched placement, Moment's DDAK data
+  placement achieves at least hash placement's throughput (within
+  :data:`THROUGHPUT_TOL`; DDAK degenerates to hash-equivalent on
+  uniform fabrics, it never loses).
+* **capacity_respected** — the epoch simulator's per-link traffic never
+  exceeds link capacity x time (mean utilization <= 1 +
+  :data:`UTILIZATION_EPS` on every link).
+* **oom_monotone** — the OOM verdict is monotone in HBM size: if the
+  memory budget fits at some HBM scale it fits at every larger scale.
+* **replan_recovers** — after a drive failure, the degradation-aware
+  replan arm's steady-state step time is no worse than the static arm's
+  (within :data:`THROUGHPUT_TOL`).
+
+Seeds default to 0..24 full / 0..5 quick; set ``REPRO_FABRIC_SEEDS``
+(space- or comma-separated) to override — e.g. reproduce one failing
+seed with ``REPRO_FABRIC_SEEDS=13 python -m repro.experiments
+fabric-sweep``.  A violation raises ``AssertionError`` naming the seeds
+and that repro command, which is what makes the CI job a gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.optimizer import MomentOptimizer, OptimizerConfig
+from repro.core.search import sample_placements
+from repro.experiments.figures import (
+    ExperimentResult,
+    _HashMomentSystem,
+    _dataset,
+    _timed,
+)
+from repro.faults import FaultSchedule
+from repro.graphs.datasets import ScaledDataset
+from repro.hardware.fabric import compile_fabric, fabric_summary
+from repro.hardware.generate import (
+    generate_fabric,
+    has_cxl,
+    is_asymmetric,
+)
+from repro.runtime.spec import RunSpec
+from repro.runtime.system import MomentSystem
+from repro.simulator.memory import OutOfMemoryError
+from repro.utils.report import Table
+
+#: Fixed sweep seeds (full / quick); REPRO_FABRIC_SEEDS overrides both.
+DEFAULT_SEEDS: Tuple[int, ...] = tuple(range(25))
+QUICK_SEEDS: Tuple[int, ...] = tuple(range(6))
+
+#: Relative slack on throughput comparisons (LP/simulator noise).
+THROUGHPUT_TOL = 0.05
+#: Absolute slack on mean link utilization.  The epoch simulator
+#: amortizes prefetch steady state (a step's IO time is the joint
+#: makespan divided by in-flight batches), so the bytes charged to the
+#: gating step can exceed capacity x step-time by a few percent —
+#: classic machines peak near 0.97, generated fabrics near 1.035.  The
+#: bound still catches real accounting bugs (2x would blow through it)
+#: without flagging the amortization artifact.
+UTILIZATION_EPS = 0.05
+#: Ascending HBM scale factors probed for the OOM-monotonicity check
+#: (the smallest must sit below the fixed reservations so the frontier
+#: is actually exercised).
+HBM_SCALES: Tuple[float, ...] = (0.002, 0.02, 0.2, 1.0)
+#: Candidate-sample cap per fabric (generated chassis can enumerate
+#: thousands of canonical placements; the invariants need a searched
+#: placement, not the global optimum).
+CANDIDATE_CAP = 12
+
+_GPUS = 2
+_SSDS = 3
+
+
+def sweep_seeds(quick: bool = False) -> Tuple[int, ...]:
+    """The fabric seeds this sweep covers (env override first)."""
+    env = os.environ.get("REPRO_FABRIC_SEEDS")
+    if env:
+        return tuple(int(s) for s in env.replace(",", " ").split())
+    return QUICK_SEEDS if quick else DEFAULT_SEEDS
+
+
+def _max_utilization(result) -> float:
+    """Peak mean per-link utilization of a run's epoch."""
+    epoch = result.epoch
+    util = epoch.traffic.link_utilization(epoch.epoch_seconds)
+    return max(util.values()) if util else 0.0
+
+
+def _oom_verdicts(machine, dataset: ScaledDataset) -> List[bool]:
+    """Fits-in-HBM verdicts over :data:`HBM_SCALES` (ascending)."""
+    verdicts = []
+    for scale in HBM_SCALES:
+        gpu = dataclasses.replace(
+            machine.gpu, hbm_bytes=machine.gpu.hbm_bytes * scale
+        )
+        shrunk = dataclasses.replace(
+            machine, gpu=gpu, fabric_spec=machine.fabric_spec
+        )
+        try:
+            MomentSystem(shrunk).hbm_cache_budget(dataset, "graphsage", _GPUS)
+            verdicts.append(True)
+        except OutOfMemoryError:
+            verdicts.append(False)
+    return verdicts
+
+
+def check_fabric(seed: int, quick: bool = False) -> Dict:
+    """Run every invariant on one generated fabric; returns the
+    per-fabric report dict (``violations`` empty = all hold)."""
+    spec = generate_fabric(seed)
+    machine = compile_fabric(spec)
+    # the figures' scaled PA stand-in: caches scale down with the
+    # dataset, so runs have real external traffic to account
+    dataset = _dataset("PA", quick)
+    batches = 3 if quick else 4
+    violations: List[str] = []
+
+    candidates = sample_placements(
+        machine.chassis, _GPUS, _SSDS, cap=CANDIDATE_CAP
+    )
+    plan = MomentOptimizer(
+        machine, _GPUS, _SSDS, OptimizerConfig(seed=0)
+    ).optimize(dataset, candidates=candidates)
+    summary = fabric_summary(machine, machine.build(plan.placement))
+    base = RunSpec(
+        dataset=dataset,
+        placement=plan.placement,
+        num_gpus=_GPUS,
+        num_ssds=_SSDS,
+        sample_batches=batches,
+    )
+
+    moment = MomentSystem(machine).run(base)
+    hashed = _HashMomentSystem(machine).run(base)
+    if not moment.ok or not hashed.ok:
+        violations.append(
+            f"run failed: moment={moment.oom!r} hash={hashed.oom!r}"
+        )
+        ddak_gain = float("nan")
+        max_util = float("nan")
+    else:
+        ddak_gain = moment.seeds_per_s / hashed.seeds_per_s
+        if moment.seeds_per_s < hashed.seeds_per_s * (1 - THROUGHPUT_TOL):
+            violations.append(
+                f"ddak_beats_hash: moment {moment.seeds_per_s:.1f} < "
+                f"hash {hashed.seeds_per_s:.1f} seeds/s"
+            )
+        max_util = max(_max_utilization(moment), _max_utilization(hashed))
+        if max_util > 1 + UTILIZATION_EPS:
+            violations.append(
+                f"capacity_respected: peak link utilization {max_util:.4f}"
+            )
+
+    verdicts = _oom_verdicts(machine, dataset)
+    if verdicts != sorted(verdicts):
+        violations.append(
+            f"oom_monotone: fits-verdicts {verdicts} over HBM scales "
+            f"{HBM_SCALES} are not monotone"
+        )
+
+    schedule = FaultSchedule.parse("fail@1:ssd0")
+    static = MomentSystem(machine).run(base.replace(faults=schedule))
+    replan = MomentSystem(machine).run(
+        base.replace(faults=schedule, replan=True)
+    )
+    if not static.ok or not replan.ok:
+        violations.append(
+            f"fault run failed: static={static.oom!r} replan={replan.oom!r}"
+        )
+        replan_vs_static = float("nan")
+    else:
+        s_last = static.epoch.step_seconds[-1]
+        r_last = replan.epoch.step_seconds[-1]
+        replan_vs_static = s_last / r_last if r_last > 0 else float("inf")
+        if r_last > s_last * (1 + THROUGHPUT_TOL):
+            violations.append(
+                f"replan_recovers: replan last step {r_last * 1e3:.2f} ms "
+                f"> static {s_last * 1e3:.2f} ms"
+            )
+
+    return {
+        "seed": seed,
+        "summary": summary,
+        "asymmetric": is_asymmetric(spec),
+        "cxl": has_cxl(spec),
+        "num_candidates": len(candidates),
+        "ddak_gain": ddak_gain,
+        "max_utilization": max_util,
+        "oom_verdicts": verdicts,
+        "replan_vs_static": replan_vs_static,
+        "violations": violations,
+    }
+
+
+@_timed
+def run_fabric_sweep(
+    quick: bool = False, seeds: Optional[Tuple[int, ...]] = None
+) -> ExperimentResult:
+    """Sweep the invariants across generated fabrics (seeded fuzzing)."""
+    seeds = tuple(seeds) if seeds is not None else sweep_seeds(quick)
+    table = Table(
+        ["seed", "fabric", "nodes", "links", "asym", "cxl",
+         "ddak_gain", "max_util", "replan/static", "ok"],
+        title=f"fabric sweep: {len(seeds)} generated fabrics "
+        f"(cap {CANDIDATE_CAP} candidates/fabric)",
+    )
+    reports = []
+    for seed in seeds:
+        rep = check_fabric(seed, quick=quick)
+        reports.append(rep)
+        s = rep["summary"]
+        table.add_row(
+            [
+                seed,
+                s["fingerprint"],
+                s["nodes"],
+                s["links"],
+                "y" if rep["asymmetric"] else "-",
+                "y" if rep["cxl"] else "-",
+                f"{rep['ddak_gain']:.3f}",
+                f"{rep['max_utilization']:.3f}",
+                f"{rep['replan_vs_static']:.3f}",
+                "ok" if not rep["violations"] else
+                f"{len(rep['violations'])} FAIL",
+            ]
+        )
+
+    n_asym = sum(1 for r in reports if r["asymmetric"])
+    n_cxl = sum(1 for r in reports if r["cxl"])
+    failed = [r for r in reports if r["violations"]]
+    notes = [
+        f"{n_asym}/{len(seeds)} asymmetric-PCIe fabrics, "
+        f"{n_cxl}/{len(seeds)} with a CXL tier",
+        "invariants: ddak_beats_hash, capacity_respected, oom_monotone, "
+        "replan_recovers",
+    ]
+    if not os.environ.get("REPRO_FABRIC_SEEDS"):
+        # coverage demands only apply to the default fleet; a pinned
+        # repro seed legitimately has whatever shape it has
+        if n_asym < 1 or (not quick and n_cxl < 1):
+            failed.append(
+                {
+                    "seed": None,
+                    "violations": [
+                        f"coverage: {n_asym} asymmetric / {n_cxl} CXL "
+                        "fabrics in the fleet (need >=1 of each)"
+                    ],
+                }
+            )
+    result = ExperimentResult(
+        "fabric-sweep",
+        "fabric invariants over generated heterogeneous machines",
+        table,
+        data={"reports": reports, "seeds": list(seeds)},
+        notes=notes,
+    )
+    if failed:
+        result.print()
+        lines = []
+        for r in failed:
+            for v in r["violations"]:
+                lines.append(f"  seed {r['seed']}: {v}")
+        raise AssertionError(
+            "fabric sweep violated invariant(s) on "
+            f"{len(failed)} fabric(s):\n" + "\n".join(lines) + "\n"
+            "reproduce one seed with: REPRO_FABRIC_SEEDS=<seed> "
+            "python -m repro.experiments fabric-sweep"
+        )
+    return result

@@ -45,18 +45,63 @@ def _steady_frac(healthy: SystemResult, arm: SystemResult) -> float:
     return h / a if a > 0 else 0.0
 
 
+def _fault_placement(machine, num_gpus: int, num_ssds: int):
+    """The placement the fault arms run on: the paper's layout (c) when
+    the machine has the classic bays/slots groups, otherwise a searched
+    placement over a bounded candidate sample (arbitrary compiled
+    fabrics have no classic layouts)."""
+    try:
+        return classic_layouts(machine)["c"], num_gpus, num_ssds
+    except (KeyError, ValueError):
+        pass
+    from repro.core.optimizer import MomentOptimizer, OptimizerConfig
+    from repro.core.placement import GPU, SSD
+    from repro.core.search import sample_placements
+
+    gpus = min(
+        num_gpus,
+        sum(
+            g.units
+            for g in machine.chassis.slot_groups
+            if GPU in g.allowed
+        ),
+    )
+    ssds = min(
+        num_ssds,
+        sum(
+            g.units
+            for g in machine.chassis.slot_groups
+            if SSD in g.allowed
+        ),
+    )
+    candidates = sample_placements(machine.chassis, gpus, ssds, cap=12)
+    plan = MomentOptimizer(
+        machine, gpus, ssds, OptimizerConfig(seed=0)
+    ).optimize(_dataset("IG", True), candidates=candidates)
+    return plan.placement, gpus, ssds
+
+
 @_timed
 def run_faults(
-    quick: bool = False, faults: Optional[FaultSchedule] = None
+    quick: bool = False,
+    faults: Optional[FaultSchedule] = None,
+    machine=None,
 ) -> ExperimentResult:
-    """Static-plan vs replanned throughput under injected faults."""
-    machine = machine_a()
+    """Static-plan vs replanned throughput under injected faults.
+
+    ``machine`` defaults to Machine A; any compiled fabric (e.g.
+    ``get_machine("gen:7")``) works — fabrics without the paper's
+    classic slot groups get a searched placement instead of layout (c).
+    """
+    machine = machine if machine is not None else machine_a()
     ds = _dataset("IG", quick)
-    placement = classic_layouts(machine)["c"]
+    placement, num_gpus, num_ssds = _fault_placement(machine, 4, 8)
     schedule = faults if faults is not None else default_fault_schedule(quick)
     base = RunSpec(
         dataset=ds,
         placement=placement,
+        num_gpus=num_gpus,
+        num_ssds=num_ssds,
         sample_batches=6 if quick else 12,
     )
 
@@ -70,7 +115,7 @@ def run_faults(
     table = Table(
         ["arm", "epoch_s", "last_step_ms", "steady_frac_%",
          "recover_s", "migrated_MB"],
-        title=f"faults: {schedule.describe()} on machine_a/layout(c), IG",
+        title=f"faults: {schedule.describe()} on {machine.name}, IG",
     )
     data: Dict = {"schedule": schedule.describe(), "records": {}}
     for name, r in arms.items():

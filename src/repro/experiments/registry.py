@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.experiments import fabric_sweep as FS
 from repro.experiments import faults as X
 from repro.experiments import figures as F
 from repro.experiments import sensitivity as S
@@ -36,6 +37,7 @@ _REGISTRY: Dict[str, Callable] = {
     "cost": F.run_cost_tco,
     "pooling": F.run_ddak_pooling,
     "faults": X.run_faults,
+    "fabric-sweep": FS.run_fabric_sweep,
     "sens-cache": S.sweep_gpu_cache,
     "sens-qpi": S.sweep_qpi_bandwidth,
     "sens-skew": S.sweep_skew,
@@ -47,6 +49,10 @@ _NO_QUICK = {"table1", "cost"}
 
 #: runners that accept a ``faults`` schedule (CLI ``--faults SPEC``)
 _ACCEPTS_FAULTS = {"faults"}
+
+#: runners that accept a ``machine`` (CLI ``--fabric TARGET``, resolved
+#: through :func:`repro.hardware.registry.get_machine`)
+_ACCEPTS_MACHINE = {"faults"}
 
 
 def list_experiments() -> List[str]:
@@ -65,12 +71,17 @@ def get_runner(experiment_id: str) -> Callable:
         ) from None
 
 
-def run_experiment(experiment_id: str, quick: bool = False, faults=None):
+def run_experiment(
+    experiment_id: str, quick: bool = False, faults=None, machine=None
+):
     """Run one experiment by id.
 
     ``faults`` (a :class:`~repro.faults.FaultSchedule`) is forwarded to
-    runners that inject faults; passing it to any other experiment is
-    an error rather than a silent no-op.
+    runners that inject faults, and ``machine`` (a compiled
+    :class:`~repro.hardware.machines.MachineSpec`, e.g. from
+    ``get_machine("gen:7")``) to runners that take their hardware as a
+    parameter; passing either to any other experiment is an error
+    rather than a silent no-op.
     """
     runner = get_runner(experiment_id)
     if faults is not None and experiment_id not in _ACCEPTS_FAULTS:
@@ -78,8 +89,16 @@ def run_experiment(experiment_id: str, quick: bool = False, faults=None):
             f"experiment {experiment_id!r} does not take a fault "
             f"schedule; --faults applies to: {', '.join(_ACCEPTS_FAULTS)}"
         )
+    if machine is not None and experiment_id not in _ACCEPTS_MACHINE:
+        raise ValueError(
+            f"experiment {experiment_id!r} does not take a machine; "
+            f"--fabric applies to: {', '.join(sorted(_ACCEPTS_MACHINE))}"
+        )
     if experiment_id in _NO_QUICK:
         return runner()
+    kwargs = {"quick": quick}
     if experiment_id in _ACCEPTS_FAULTS:
-        return runner(quick=quick, faults=faults)
-    return runner(quick=quick)
+        kwargs["faults"] = faults
+    if experiment_id in _ACCEPTS_MACHINE:
+        kwargs["machine"] = machine
+    return runner(**kwargs)

@@ -1,54 +1,105 @@
-"""CLI: describe the built-in machines or a custom chassis file.
+"""CLI: enumerate and describe machines from the hardware registry.
 
 Usage::
 
-    python -m repro.hardware                 # list machines
-    python -m repro.hardware a               # describe Machine A
-    python -m repro.hardware b --layout c    # topology of layout (c)
-    python -m repro.hardware my_server.txt   # parse + describe a file
+    python -m repro.hardware                    # list registered machines
+    python -m repro.hardware list               # same
+    python -m repro.hardware a                  # describe Machine A
+    python -m repro.hardware b --layout c       # topology of layout (c)
+    python -m repro.hardware gen:7              # a generated fabric
+    python -m repro.hardware my_fabric.json     # a fabric spec file
+    python -m repro.hardware my_server.txt      # a chassis text file
+    python -m repro.hardware gen:7 --json       # dump the fabric spec
+
+Targets resolve through :func:`repro.hardware.registry.get_machine`,
+so generated (``gen:<seed>``) and spec-file fabrics are first-class
+citizens next to the paper's built-in machines.
 """
 
 from __future__ import annotations
 
 import argparse
-import pathlib
 import sys
 
-from repro.hardware.machines import classic_layouts, machine_a, machine_b
-from repro.hardware.pcie import parse_chassis, render_chassis
+from repro.hardware.machines import classic_layouts
+from repro.hardware.pcie import render_chassis
+from repro.hardware.registry import get_machine, list_machines
+
+
+def _print_list() -> None:
+    print("registered machines:")
+    for entry in list_machines():
+        desc = f" — {entry.description}" if entry.description else ""
+        kind = f" [{entry.kind}]" if entry.kind != "machine" else ""
+        print(f"  {entry.name}{kind}{desc}")
+    print("also accepted: gen:<seed> (generated fabric), a repro.fabric/v1")
+    print("JSON file, or a chassis description file (repro.hardware.pcie)")
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.hardware")
     parser.add_argument(
-        "target", nargs="?",
-        help="'a', 'b', or a path to a chassis description file",
+        "target",
+        nargs="?",
+        help="'list', a registered machine name, 'gen:<seed>', or a "
+        "path to a fabric JSON / chassis text file",
     )
     parser.add_argument(
-        "--layout", choices=["a", "b", "c", "d"],
-        help="also print the runtime topology of a classic layout",
+        "--layout",
+        choices=["a", "b", "c", "d"],
+        help="also print the runtime topology of a classic layout "
+        "(machines with the paper's bays/slots groups only)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the machine's declarative fabric spec as JSON "
+        "(machines compiled from a FabricSpec only)",
     )
     args = parser.parse_args(argv)
 
-    if not args.target:
-        print("built-in machines: a (balanced), b (cascaded)")
-        print("or pass a chassis description file (see repro.hardware.pcie)")
+    if not args.target or args.target == "list":
+        _print_list()
         return 0
 
-    if args.target in ("a", "b"):
-        machine = machine_a() if args.target == "a" else machine_b()
-        print(render_chassis(machine.chassis))
-        if args.layout:
-            placement = classic_layouts(machine)[args.layout]
-            print(machine.build(placement).describe())
-        return 0
+    try:
+        machine = get_machine(args.target)
+    except (KeyError, ValueError) as err:
+        # Cluster specs have no chassis to render; report them directly.
+        from repro.hardware.registry import _ALIASES, _REGISTRY
 
-    path = pathlib.Path(args.target)
-    if not path.exists():
-        print(f"error: no such machine or file: {args.target}", file=sys.stderr)
+        entry = _REGISTRY.get(_ALIASES.get(args.target, args.target))
+        if entry is not None and entry.kind != "machine":
+            print(entry.factory())
+            return 0
+        msg = err.args[0] if err.args else str(err)
+        print(f"error: {msg}", file=sys.stderr)
         return 1
-    chassis = parse_chassis(path.read_text())
-    print(render_chassis(chassis))
+
+    if args.json:
+        spec = machine.fabric_spec
+        if spec is None:
+            print(
+                f"error: {machine.name!r} was not compiled from a fabric "
+                "spec (no JSON form)",
+                file=sys.stderr,
+            )
+            return 1
+        print(spec.to_json())
+        return 0
+
+    print(render_chassis(machine.chassis))
+    if args.layout:
+        try:
+            placement = classic_layouts(machine)[args.layout]
+        except (KeyError, ValueError) as err:
+            print(
+                f"error: classic layouts need the paper's slot groups "
+                f"({err})",
+                file=sys.stderr,
+            )
+            return 1
+        print(machine.build(placement).describe())
     return 0
 
 

@@ -17,7 +17,7 @@ placements, and :func:`classic_layouts` returns them in paper order
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.placement import (
@@ -50,7 +50,16 @@ from repro.utils.units import GiB
 
 @dataclass(frozen=True)
 class MachineSpec:
-    """A machine: chassis plus its CPU/GPU/SSD part numbers."""
+    """A machine: chassis plus its CPU/GPU/SSD part numbers.
+
+    ``gpu``/``ssd`` are the *primary* parts (memory budgeting, capacity
+    planning); heterogeneous fabrics list per-slot-group deviations in
+    ``gpu_overrides``/``ssd_overrides`` (tuples of ``(group_name,
+    part)`` pairs so the spec stays hashable and pickles into search
+    worker processes).  ``fabric_spec`` records the declarative
+    :class:`~repro.hardware.fabric.FabricSpec` this machine was
+    compiled from, when it was (None for hand-built chassis).
+    """
 
     name: str
     chassis: Chassis
@@ -58,6 +67,11 @@ class MachineSpec:
     gpu: GpuSpec
     ssd: SsdSpec
     num_sockets: int = 2
+    gpu_overrides: Tuple[Tuple[str, GpuSpec], ...] = ()
+    ssd_overrides: Tuple[Tuple[str, SsdSpec], ...] = ()
+    fabric_spec: Optional[object] = field(
+        default=None, compare=False, repr=False
+    )
 
     def build(
         self,
@@ -71,6 +85,8 @@ class MachineSpec:
             self.ssd,
             nvlink_pairs=nvlink_pairs,
             name=f"{self.name}/{placement.name or 'custom'}",
+            gpu_specs=dict(self.gpu_overrides) or None,
+            ssd_specs=dict(self.ssd_overrides) or None,
         )
 
     @property
@@ -89,7 +105,20 @@ def _two_socket_skeleton(chassis: Chassis, cpu: CpuSpec) -> None:
 
 
 def machine_a(cpu: CpuSpec = XEON_GOLD_5320) -> MachineSpec:
-    """Machine A: balanced topology (Figure 1)."""
+    """Machine A: balanced topology (Figure 1).
+
+    Compiled from its declarative spec
+    (:func:`repro.hardware.fabric.machine_a_spec`); the hand-built
+    :func:`_legacy_machine_a` is kept as the equality oracle for the
+    compiler tests.
+    """
+    from repro.hardware.fabric import compile_fabric, machine_a_spec
+
+    return compile_fabric(machine_a_spec(cpu))
+
+
+def _legacy_machine_a(cpu: CpuSpec = XEON_GOLD_5320) -> MachineSpec:
+    """Machine A via the original imperative construction path."""
     ch = Chassis("machine_a")
     _two_socket_skeleton(ch, cpu)
     ch.add_interconnect("plx0", NodeKind.SWITCH)
@@ -115,7 +144,18 @@ def machine_a(cpu: CpuSpec = XEON_GOLD_5320) -> MachineSpec:
 
 
 def machine_b(cpu: CpuSpec = XEON_GOLD_6426Y) -> MachineSpec:
-    """Machine B: cascaded topology (Figure 2; Fig 7 for Moment's layout)."""
+    """Machine B: cascaded topology (Figure 2; Fig 7 for Moment's layout).
+
+    Compiled from :func:`repro.hardware.fabric.machine_b_spec`; the
+    hand-built :func:`_legacy_machine_b` remains the equality oracle.
+    """
+    from repro.hardware.fabric import compile_fabric, machine_b_spec
+
+    return compile_fabric(machine_b_spec(cpu))
+
+
+def _legacy_machine_b(cpu: CpuSpec = XEON_GOLD_6426Y) -> MachineSpec:
+    """Machine B via the original imperative construction path."""
     ch = Chassis("machine_b")
     _two_socket_skeleton(ch, cpu)
     ch.add_interconnect("plx0", NodeKind.SWITCH)
@@ -170,14 +210,11 @@ class ClusterSpec:
 
 
 def cluster_c() -> ClusterSpec:
-    return ClusterSpec(
-        name="cluster_c",
-        num_machines=4,
-        cpu=XEON_SILVER_4214,
-        gpu=A100_40GB,
-        gpu_link_bw=PCIE3_X16,
-        nic_bw=NIC_100G_BW,
-    )
+    """Cluster C, lowered from its declarative spec
+    (:func:`repro.hardware.fabric.cluster_c_fabric`)."""
+    from repro.hardware.fabric import cluster_c_fabric, compile_cluster
+
+    return compile_cluster(cluster_c_fabric())
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,155 @@
+"""Machine registry: resolve hardware by name, seed, or spec file.
+
+Everything that names hardware — ``RunSpec``, the CLI (``python -m
+repro.hardware``), experiment runners — resolves through
+:func:`get_machine`, which accepts:
+
+* a registered name (``"machine_a"``, ``"machine_b"``, or the short
+  aliases ``"a"``/``"b"``);
+* ``"gen:<seed>"`` — a generated fabric from
+  :func:`repro.hardware.generate.generate_fabric`;
+* a path to a ``repro.fabric/v1`` JSON file (compiled through
+  :func:`repro.hardware.fabric.compile_fabric`);
+* a path to a textual chassis description
+  (:func:`repro.hardware.pcie.parse_chassis`), wrapped with the paper's
+  default device parts.
+
+New machines register with :func:`register_machine`; ``python -m
+repro.hardware list`` enumerates the registry instead of a hard-coded
+machine list.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.hardware.machines import MachineSpec
+
+
+@dataclass(frozen=True)
+class MachineEntry:
+    """One registry row: a named hardware factory."""
+
+    name: str
+    factory: Callable[[], object]
+    kind: str = "machine"  # "machine" (MachineSpec) or "cluster"
+    description: str = ""
+
+
+_REGISTRY: Dict[str, MachineEntry] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_machine(
+    name: str,
+    factory: Callable[[], object],
+    *,
+    kind: str = "machine",
+    description: str = "",
+    aliases: tuple = (),
+) -> None:
+    """Register a hardware factory under ``name`` (plus aliases)."""
+    if name in _REGISTRY:
+        raise ValueError(f"machine {name!r} already registered")
+    _REGISTRY[name] = MachineEntry(name, factory, kind, description)
+    for alias in aliases:
+        if alias in _ALIASES or alias in _REGISTRY:
+            raise ValueError(f"alias {alias!r} already taken")
+        _ALIASES[alias] = name
+
+
+def list_machines() -> List[MachineEntry]:
+    """All registered machines, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def _known() -> str:
+    names = [e.name for e in _REGISTRY.values()]
+    return (
+        f"{', '.join(names)}, 'gen:<seed>', or a path to a "
+        "repro.fabric/v1 JSON / chassis text file"
+    )
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Resolve ``name`` to a compiled :class:`MachineSpec` (see module
+    docstring for the accepted forms).  Raises ``KeyError`` for unknown
+    names and ``ValueError`` for registered non-machine hardware
+    (Cluster C is an analytic model, not a placeable chassis)."""
+    canonical = _ALIASES.get(name, name)
+    entry = _REGISTRY.get(canonical)
+    if entry is not None:
+        if entry.kind != "machine":
+            raise ValueError(
+                f"{entry.name!r} is a {entry.kind} spec, not a placeable "
+                "machine; it has no chassis to run placements on"
+            )
+        return entry.factory()
+
+    if name.startswith("gen:"):
+        from repro.hardware.fabric import compile_fabric
+        from repro.hardware.generate import generate_fabric
+
+        try:
+            seed = int(name[len("gen:"):])
+        except ValueError:
+            raise KeyError(
+                f"bad generated-fabric reference {name!r}; "
+                "expected 'gen:<integer seed>'"
+            ) from None
+        return compile_fabric(generate_fabric(seed))
+
+    if os.path.exists(name):
+        if name.endswith(".json"):
+            from repro.hardware.fabric import compile_fabric, load_fabric
+
+            return compile_fabric(load_fabric(name))
+        from repro.hardware.pcie import parse_chassis
+        from repro.hardware.specs import A100_40GB, P5510, XEON_GOLD_5320
+        from repro.core.topology import NodeKind
+
+        with open(name, "r", encoding="utf-8") as fh:
+            chassis = parse_chassis(fh.read())
+        num_rc = sum(
+            1
+            for kind in chassis.interconnects.values()
+            if kind is NodeKind.ROOT_COMPLEX
+        )
+        return MachineSpec(
+            name=chassis.name,
+            chassis=chassis,
+            cpu=XEON_GOLD_5320,
+            gpu=A100_40GB,
+            ssd=P5510,
+            num_sockets=max(1, num_rc),
+        )
+
+    raise KeyError(f"unknown machine {name!r}; known: {_known()}")
+
+
+def _register_builtins() -> None:
+    from repro.hardware import machines
+
+    register_machine(
+        "machine_a",
+        machines.machine_a,
+        description="balanced PCIe topology (Figure 1)",
+        aliases=("a",),
+    )
+    register_machine(
+        "machine_b",
+        machines.machine_b,
+        description="cascaded PCIe topology (Figure 2)",
+        aliases=("b",),
+    )
+    register_machine(
+        "cluster_c",
+        machines.cluster_c,
+        kind="cluster",
+        description="four-node DistDGL cluster (analytic model)",
+    )
+
+
+_register_builtins()

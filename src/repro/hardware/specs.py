@@ -58,6 +58,11 @@ CPU_MEM_BW = 60.0 * GB
 GPU_HBM_BW = 1200.0 * GB
 #: 100 Gbps datacenter NIC (Cluster C).
 NIC_100G_BW = 12.5 * GB
+#: CXL.mem expander bandwidth per device (CXL 2.0 over PCIe 5 x8,
+#: sustained load/store + DMA mix lands well under the line rate).
+CXL_MEM_BW = 22.0 * GB
+#: Typical CXL memory-expander capacity (bytes).
+CXL_MEM_BYTES = 128 * GiB
 
 
 # ----------------------------------------------------------------------
@@ -123,6 +128,50 @@ P5510 = SsdSpec(
     write_bw=4.0 * GB,
     read_iops=1.55e6,
     pcie_gen=4,
+    pcie_lanes=4,
+)
+
+# Additional parts for generated/heterogeneous fabrics (the paper's
+# machines use only the A100/P5510 pair above; these widen the part
+# library so the fabric fuzzer can mix generations).
+
+#: NVIDIA V100 32 GB PCIe — a PCIe 3.0 predecessor generation.
+V100_32GB = GpuSpec(
+    name="V100-32GB-PCIe",
+    hbm_bytes=32 * GiB,
+    pcie_gen=3,
+    pcie_lanes=16,
+    effective_flops=10e12,
+)
+
+#: NVIDIA H100 80 GB PCIe — a PCIe 5.0 successor generation.
+H100_80GB = GpuSpec(
+    name="H100-80GB-PCIe",
+    hbm_bytes=80 * GiB,
+    pcie_gen=5,
+    pcie_lanes=16,
+    effective_flops=40e12,
+)
+
+#: Intel P4510 4 TB — PCIe 3.0 NVMe, ~3 GB/s sustained reads.
+P4510 = SsdSpec(
+    name="Intel-P4510-4TB",
+    capacity_bytes=4.0 * TB,
+    read_bw=3.0 * GB,
+    write_bw=2.9 * GB,
+    read_iops=0.64e6,
+    pcie_gen=3,
+    pcie_lanes=4,
+)
+
+#: Samsung PM1743 3.84 TB — PCIe 5.0 NVMe, ~12 GB/s sustained reads.
+PM1743 = SsdSpec(
+    name="Samsung-PM1743-3.84TB",
+    capacity_bytes=3.84 * TB,
+    read_bw=12.0 * GB,
+    write_bw=5.0 * GB,
+    read_iops=2.5e6,
+    pcie_gen=5,
     pcie_lanes=4,
 )
 

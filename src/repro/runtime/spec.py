@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -61,6 +61,16 @@ class RunSpec:
     #: into :class:`~repro.runtime.system.SystemResult` and the
     #: ``repro.run/v1`` record so the warehouse can key rows on it.
     repetition: int = 0
+    #: Hardware identity by name, resolved through
+    #: :func:`repro.hardware.registry.get_machine` (``"machine_a"``,
+    #: ``"gen:7"``, a spec-file path).  ``None`` (the historical
+    #: behaviour) trusts whatever machine the system was built with.
+    machine: Optional[str] = None
+    #: Hardware identity as a declarative fabric: a
+    #: :class:`~repro.hardware.fabric.FabricSpec`, its ``to_dict()``
+    #: payload, or a path to a ``repro.fabric/v1`` JSON file.  Mutually
+    #: exclusive with ``machine``.
+    fabric: Union[object, Dict, str, None] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "fanouts", tuple(self.fanouts))
@@ -86,6 +96,18 @@ class RunSpec:
             raise ValueError(
                 "replan requires a fault schedule to react to"
             )
+        if self.machine is not None and self.fabric is not None:
+            raise ValueError(
+                "give exactly one hardware identity: this spec sets both "
+                f"machine={self.machine!r} and fabric={type(self.fabric).__name__} "
+                "— drop one (machine names a registered/generated fabric, "
+                "fabric carries an inline spec or spec-file path)"
+            )
+        if self.machine is not None and not isinstance(self.machine, str):
+            raise TypeError(
+                f"machine must be a registry name (str) or None, got "
+                f"{type(self.machine)}"
+            )
 
     @property
     def replan_config(self) -> Optional[ReplanConfig]:
@@ -98,6 +120,37 @@ class RunSpec:
             return self.replan
         raise TypeError(
             f"replan must be bool or ReplanConfig, got {type(self.replan)}"
+        )
+
+    def resolve_machine(self):
+        """The :class:`~repro.hardware.machines.MachineSpec` this spec
+        names, or ``None`` when the spec carries no hardware identity.
+
+        ``machine`` resolves through the registry; ``fabric`` compiles
+        an inline :class:`~repro.hardware.fabric.FabricSpec`, a
+        ``to_dict()`` payload, or a spec-file path.
+        """
+        if self.machine is not None:
+            from repro.hardware.registry import get_machine
+
+            return get_machine(self.machine)
+        if self.fabric is None:
+            return None
+        from repro.hardware.fabric import (
+            FabricSpec,
+            compile_fabric,
+            load_fabric,
+        )
+
+        if isinstance(self.fabric, FabricSpec):
+            return compile_fabric(self.fabric)
+        if isinstance(self.fabric, dict):
+            return compile_fabric(FabricSpec.from_dict(self.fabric))
+        if isinstance(self.fabric, str):
+            return compile_fabric(load_fabric(self.fabric))
+        raise TypeError(
+            "fabric must be a FabricSpec, a repro.fabric/v1 dict, or a "
+            f"path, got {type(self.fabric)}"
         )
 
     def replace(self, **changes) -> "RunSpec":

@@ -31,6 +31,7 @@ from repro.core.placement import Placement
 from repro.core.search import SearchResult
 from repro.core.topology import Topology
 from repro.graphs.datasets import ScaledDataset
+from repro.hardware.fabric import fabric_summary
 from repro.hardware.machines import MachineSpec
 from repro.simulator.binding import static_ssd_binding
 from repro.simulator.iostack import IoStackConfig
@@ -42,6 +43,7 @@ from repro.simulator.memory import (
     io_buffer_bytes,
 )
 from repro.simulator.pipeline import EpochResult, EpochSimulator, SimConfig
+from repro.simulator.routing import reconcile_storage_rates
 from repro.simulator.traffic import TrafficAccount
 from repro.core.flowmodel import TrafficDemand
 from repro.runtime.replan import ReplanPolicy
@@ -81,6 +83,11 @@ class SystemResult:
     seed: Optional[int] = None
     #: Repetition index from the spec (0 = canonical run).
     repetition: int = 0
+    #: Fabric shape summary (name, chassis fingerprint, node/link/tier
+    #: counts, generator seed) from
+    #: :func:`repro.hardware.fabric.fabric_summary`; None for OOM runs
+    #: that never built a topology.
+    fabric: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -184,6 +191,7 @@ class SystemResult:
             "repetition": int(self.repetition),
             "ok": self.ok,
             "oom": self.oom,
+            "fabric": self.fabric,
             "telemetry": self.telemetry,
             "placement": (
                 list(self.placement.as_tuple())
@@ -243,6 +251,7 @@ class SystemResult:
             telemetry=record.get("telemetry"),
             seed=record.get("seed"),
             repetition=int(record.get("repetition", 0)),
+            fabric=record.get("fabric"),
         )
 
 
@@ -332,6 +341,40 @@ class GnnSystem:
     ) -> DataPlacement:
         """Produce the vertex-to-bin data placement for this system."""
         raise NotImplementedError
+
+    def hbm_cache_budget(
+        self,
+        dataset: ScaledDataset,
+        model: str,
+        num_gpus: int,
+        io: Optional[IoStackConfig] = None,
+    ) -> float:
+        """Effective per-GPU embedding-cache bytes for this system.
+
+        The same budgeting path :meth:`run` uses — fixed reservations
+        (model state, activations, I/O buffers, system extras) come off
+        the ledger, and the remainder is scaled by the system's cache
+        fraction and efficiency.  Raises :class:`OutOfMemoryError` when
+        nothing is left; callers probing OOM frontiers (the fabric
+        sweep's monotonicity invariant) can call this without running an
+        epoch.
+        """
+        io = io or IoStackConfig()
+        extra = self.extra_gpu_reservations(dataset, num_gpus)
+        ledger = gpu_memory_budget(
+            self.machine, dataset, model, num_gpus, io, extra
+        )
+        cache_bytes = (
+            ledger.free_bytes
+            * self.gpu_cache_fraction
+            * self.gpu_cache_efficiency
+        )
+        if cache_bytes <= 0:
+            raise OutOfMemoryError(
+                f"{self.name}: no HBM left for an embedding cache\n"
+                + ledger.report()
+            )
+        return cache_bytes
 
     def default_placement(
         self, dataset: ScaledDataset, num_gpus: int, num_ssds: int
@@ -426,6 +469,14 @@ class GnnSystem:
         nvlink_pairs = spec.nvlink_pairs
         hotness = spec.hotness
         io = IoStackConfig()
+        declared = spec.resolve_machine()
+        if declared is not None and declared.name != self.machine.name:
+            raise ValueError(
+                f"spec names hardware {declared.name!r} but this system "
+                f"was built for {self.machine.name!r}; build the system "
+                "from the spec (repro.api.system_for) or drop the spec's "
+                "machine/fabric field"
+            )
         result = SystemResult(
             system=self.name,
             machine=self.machine.name,
@@ -436,20 +487,9 @@ class GnnSystem:
             repetition=spec.repetition,
         )
         try:
-            extra = self.extra_gpu_reservations(dataset, num_gpus)
-            ledger = gpu_memory_budget(
-                self.machine, dataset, model, num_gpus, io, extra
+            cache_bytes = self.hbm_cache_budget(
+                dataset, model, num_gpus, io
             )
-            cache_bytes = (
-                ledger.free_bytes
-                * self.gpu_cache_fraction
-                * self.gpu_cache_efficiency
-            )
-            if cache_bytes <= 0:
-                raise OutOfMemoryError(
-                    f"{self.name}: no HBM left for an embedding cache\n"
-                    + ledger.report()
-                )
         except OutOfMemoryError as err:
             result.oom = str(err)
             return result
@@ -459,6 +499,19 @@ class GnnSystem:
                 dataset, placement, num_gpus, num_ssds, nvlink_pairs
             )
         topo = self.machine.build(chosen, nvlink_pairs=nvlink_pairs)
+        fab = fabric_summary(self.machine, topo)
+        result.fabric = fab
+        # Key the run's counters by fabric shape so warehouse rows can
+        # group by the chassis the run actually executed on.
+        obs.add("fabric.nodes", fab["nodes"], fabric=fab["fingerprint"])
+        obs.add("fabric.links", fab["links"], fabric=fab["fingerprint"])
+        obs.add("fabric.tiers", fab["tiers"], fabric=fab["fingerprint"])
+        if fab.get("generator_seed") is not None:
+            obs.add(
+                "fabric.generator_seed",
+                fab["generator_seed"],
+                fabric=fab["fingerprint"],
+            )
 
         cap_plan = capacity_plan(
             self.machine,
@@ -482,6 +535,11 @@ class GnnSystem:
                 ).estimate_hotness(dataset)
 
         traffic = plan.prediction.storage_rate if plan is not None else None
+        if traffic is not None:
+            # degenerate LP optima can park a symmetric drive at zero
+            # or overshoot what fair-share arbitration will serve;
+            # repair both before DDAK weighs bins by the rates
+            traffic = reconcile_storage_rates(topo, traffic)
         with obs.span("system.place_data", system=self.name):
             data_placement = self.place_data(
                 topo, dataset, hotness, cap_plan, traffic

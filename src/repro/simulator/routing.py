@@ -120,3 +120,92 @@ class Router:
             for l in self.topo.links
             if l.kind is LinkKind.QPI
         ]
+
+
+#: Storage-node kinds whose rates :func:`fair_storage_rates` reports.
+_STORAGE_KINDS: Tuple[NodeKind, ...] = (NodeKind.SSD, NodeKind.CPU_MEM)
+
+
+def fair_storage_rates(
+    topo: Topology, kinds: Tuple[NodeKind, ...] = _STORAGE_KINDS
+) -> Dict[str, float]:
+    """Sustainable per-bin service rates under balanced demand.
+
+    One unit flow per (storage node, GPU) pair shares the fabric
+    max-min fairly — the same arbitration the epoch simulator enforces
+    — and each node's rate is the sum over its flows.  This is the
+    service skew the runtime can actually sustain, which is what DDAK
+    should weigh storage bins by; genuine asymmetry (a drive behind a
+    cascaded switch or a QPI hop) still shows up as a lower rate.
+    """
+    from repro.simulator.bandwidth import Flow, max_min_rates
+
+    gpus = topo.gpus()
+    stores = [n.name for n in topo.storage_nodes if n.kind in kinds]
+    if not gpus or not stores:
+        return {}
+    router = Router(topo)
+    flows = [
+        Flow(router.path(s, g), 1.0, (s, g)) for s in stores for g in gpus
+    ]
+    rates = max_min_rates(flows, router.capacities, list(range(len(flows))))
+    out = {s: 0.0 for s in stores}
+    for f, r in zip(flows, rates):
+        if r != float("inf"):
+            out[f.tag[0]] += r
+    return out
+
+
+#: A bin's predicted rate below this fraction of its fair-share rate
+#: counts as "parked at zero" for :func:`reconcile_storage_rates`.
+DEGENERATE_RATE_FRAC = 0.05
+
+
+def reconcile_storage_rates(
+    topo: Topology,
+    rates: Dict[str, float],
+    frac: float = DEGENERATE_RATE_FRAC,
+) -> Dict[str, float]:
+    """Reconcile an LP storage-rate prediction with fair-share reality.
+
+    DDAK weighs storage bins by the optimizer's predicted service
+    rates, but the multicommodity LP's optimum can disagree with the
+    runtime's max-min arbitration in two ways, both repaired here
+    against :func:`fair_storage_rates` (computed per node kind, so
+    SSDs are compared among SSDs and memory banks among memory banks):
+
+    * **Degenerate zeros** — many rate splits achieve the same
+      bottleneck time, and the solver may park one of several
+      *symmetric* bins at rate zero, starving a perfectly good device
+      of data.  A zero is only repaired when it cannot be explained by
+      position: a bin whose fair rate ties its kind's *best* class has
+      no positional disadvantage, so a near-zero prediction there is
+      pure degeneracy and is lifted to the fair rate.  Bins in worse
+      fairness classes — e.g. behind a cascaded switch whose shared
+      uplink caps the class total — keep their zeros: there the LP is
+      deliberately concentrating the class's budget on fewer devices,
+      and spreading it back out demonstrably loses in the simulator.
+    * **Overestimates** — the LP can grant a bin its full egress
+      bandwidth even when GPU-side ingress contention caps what the
+      fair-share runtime will actually serve; weighting by the
+      optimistic rate piles hot data onto a device the arbitration
+      then throttles.  Rates are capped at the fair-share rate.
+    """
+    fair = fair_storage_rates(topo)
+    if not fair:
+        return rates
+    kind_of = {n.name: n.kind for n in topo.storage_nodes}
+    out = dict(rates)
+    for kind in _STORAGE_KINDS:
+        group = {s: r for s, r in fair.items() if kind_of[s] is kind}
+        if not group:
+            continue
+        top = max(group.values())
+        for store, fair_rate in group.items():
+            predicted = out.get(store, 0.0)
+            if predicted < frac * fair_rate:
+                if fair_rate >= top * (1 - 1e-3):
+                    out[store] = fair_rate
+            elif predicted > fair_rate:
+                out[store] = fair_rate
+    return out

@@ -16,7 +16,11 @@ Metric extraction is deliberately flat and prefixed:
 * ``h:<hist>.p50`` / ``.p90`` / ``.p99`` / ``.mean`` — the tracer's
   per-histogram summaries (span-level latency percentiles);
 * ``span:<name>.total_s`` — summed duration per span name;
-* ``epoch.*`` / ``replan.*`` — ``repro.run/v1`` scalar outcomes.
+* ``epoch.*`` / ``replan.*`` — ``repro.run/v1`` scalar outcomes;
+* ``fabric.*`` — fabric shape (node/link/tier counts, generator seed),
+  with the chassis fingerprint promoted into the ``fabric`` key column
+  (from the run record's ``fabric`` summary, or from
+  ``fabric.<stat>{fabric=<fp>}`` counters on ``repro.obs/v1`` records).
 """
 
 from __future__ import annotations
@@ -70,6 +74,32 @@ def _scalar(value: object) -> Optional[float]:
     return float(value)
 
 
+def _fabric_from_counters(
+    obs_metrics: Dict[str, object]
+) -> Tuple[Optional[str], Dict[str, float]]:
+    """(fabric fingerprint, fabric.* metrics) from rendered counters.
+
+    Runs on compiled fabrics emit ``fabric.<stat>{fabric=<fingerprint>}``
+    counters (see ``GnnSystem._run``); the label becomes the table's
+    ``fabric`` key and the values become ``m:fabric.*`` columns.
+    """
+    from repro.obs.metrics import parse_key
+
+    fingerprint: Optional[str] = None
+    metrics: Dict[str, float] = {}
+    for rendered, value in (obs_metrics.get("counters") or {}).items():
+        name, labels = parse_key(str(rendered))
+        if not name.startswith("fabric."):
+            continue
+        s = _scalar(value)
+        if s is not None:
+            metrics[name] = s
+        for k, v in labels:
+            if k == "fabric" and fingerprint is None:
+                fingerprint = v
+    return fingerprint, metrics
+
+
 def _machine_label(meta: Dict[str, object]) -> Optional[str]:
     """Short stable machine descriptor from benchmark metadata."""
     spec = meta.get("machine_spec")
@@ -121,6 +151,10 @@ def rows_from_obs_record(
             metrics[name] = s
 
     obs_metrics = record.get("metrics") or {}
+    fabric_fp, fabric_metrics = _fabric_from_counters(obs_metrics)
+    if fabric_fp is not None:
+        keys["fabric"] = fabric_fp
+    metrics.update(fabric_metrics)
     for hist_key, stats in (obs_metrics.get("histograms") or {}).items():
         if not isinstance(stats, dict) or not stats.get("count"):
             continue
@@ -159,6 +193,16 @@ def rows_from_run_record(
         "source_schema": RUN_SCHEMA,
     }
     metrics: Dict[str, float] = {"ok": 1.0 if record.get("ok") else 0.0}
+    fabric = record.get("fabric")
+    if isinstance(fabric, dict):
+        keys["fabric"] = fabric.get("fingerprint")
+        for name in ("nodes", "links", "tiers"):
+            s = _scalar(fabric.get(name))
+            if s is not None:
+                metrics[f"fabric.{name}"] = s
+        s = _scalar(fabric.get("generator_seed"))
+        if s is not None:
+            metrics["fabric.generator_seed"] = s
     epoch = record.get("epoch") or {}
     for name in (
         "epoch_seconds",

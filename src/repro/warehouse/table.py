@@ -29,6 +29,7 @@ KEY_COLUMNS = (
     "benchmark",
     "git_sha",
     "machine",
+    "fabric",
     "dataset",
     "scale_profile",
     "seed",

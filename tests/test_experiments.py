@@ -107,7 +107,7 @@ class TestCliJsonOut:
         import repro.experiments.__main__ as cli
         from repro import obs
 
-        def boom(exp, quick=False, faults=None):
+        def boom(exp, quick=False, faults=None, machine=None):
             with obs.span("epoch.partial"):
                 obs.add("partial.bytes", 123.0)
             raise RuntimeError("mid-epoch OOM")
