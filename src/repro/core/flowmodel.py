@@ -95,6 +95,11 @@ class FlowPrediction:
     storage_rate: Dict[str, float]
     #: Human-readable saturated links at the optimum (bottlenecks).
     bottlenecks: List[str] = field(default_factory=list)
+    #: Source-side node labels of the binding min cut (the certificate
+    #: that ``time`` is optimal).  Filled by the vectorized kernel
+    #: (:mod:`repro.core.flowbatch`); reusable as a warm-start hint when
+    #: re-scoring a similar placement or a degraded fabric.
+    cut_partition: Tuple[str, ...] = ()
 
 
 def _storage_members(topo: Topology, class_key: str) -> List[str]:

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
-from scipy.sparse import lil_matrix
+from scipy.sparse import coo_matrix
 
 from repro.core.flowmodel import TrafficDemand
 from repro.core.topology import LinkKind, NodeKind, Topology
@@ -122,6 +122,14 @@ def multicommodity_min_time(
     # lambda is invariant when demands and capacities scale together.
     unit = 1e-9
 
+    # HiGHS zeroes matrix coefficients below ~1e-9 of the scaled
+    # problem, so a commodity carrying a vanishing share of the demand
+    # (a degenerate tier split like fractions=(0, 1e-9, ...)) loses its
+    # lambda-column entries and makes the whole LP read as unroutable.
+    # Such a commodity cannot move the concurrent-flow scale by more
+    # than solver noise, so drop sub-tolerance entries up front.
+    negligible = 1e-7 * demand.total
+
     # demand matrix: commodity = source bin
     per_bin: Dict[str, Dict[str, float]] = {}
     for (bin_name, gpu), nbytes in demand.entries.items():
@@ -132,6 +140,8 @@ def multicommodity_min_time(
             )
         if bin_name not in topo or gpu not in topo:
             raise KeyError(f"unknown node in demand: {bin_name!r}/{gpu!r}")
+        if nbytes <= negligible:
+            continue
         per_bin.setdefault(bin_name, {})[gpu] = (
             per_bin.get(bin_name, {}).get(gpu, 0.0) + nbytes * unit
         )
@@ -148,29 +158,59 @@ def multicommodity_min_time(
     n_vars = n_comm * n_edges + 1
     lam = n_vars - 1
 
-    # equality: conservation per (commodity, node)
-    a_eq = lil_matrix((n_comm * n_nodes, n_vars))
-    b_eq = np.zeros(n_comm * n_nodes)
+    # equality: conservation per (commodity, node), assembled as one
+    # COO batch (duplicate (row, col) entries sum on conversion —
+    # exactly the incremental += the per-element loop used to do)
+    u_ids = np.array([node_id[u] for u, _, _, _ in edges], dtype=np.int64)
+    v_ids = np.array([node_id[v] for _, v, _, _ in edges], dtype=np.int64)
+    b_off_nodes = np.arange(n_comm, dtype=np.int64)[:, None] * n_nodes
+    cols_be = (
+        np.arange(n_comm, dtype=np.int64)[:, None] * n_edges
+        + np.arange(n_edges, dtype=np.int64)[None, :]
+    ).ravel()
+    rows = [
+        (b_off_nodes + u_ids[None, :]).ravel(),  # outflow +1
+        (b_off_nodes + v_ids[None, :]).ravel(),  # inflow  -1
+    ]
+    cols = [cols_be, cols_be]
+    data = [
+        np.ones(n_comm * n_edges),
+        -np.ones(n_comm * n_edges),
+    ]
+    # lambda column: source supplies lambda * total; sinks absorb
+    # lambda * D[b, g] (a handful of entries per commodity)
+    lam_rows: List[int] = []
+    lam_data: List[float] = []
     for b, bin_name in enumerate(commodities):
-        src_node = node_id[f"{bin_name}/in"]
-        for e, (u, v, _, _) in enumerate(edges):
-            col = b * n_edges + e
-            a_eq[b * n_nodes + node_id[u], col] += 1.0  # outflow
-            a_eq[b * n_nodes + node_id[v], col] -= 1.0  # inflow
-        total_supply = sum(per_bin[bin_name].values())
-        # source supplies lambda * total; sinks absorb lambda * D[b, g]
-        a_eq[b * n_nodes + src_node, lam] -= total_supply
+        lam_rows.append(b * n_nodes + node_id[f"{bin_name}/in"])
+        lam_data.append(-sum(per_bin[bin_name].values()))
         for gpu, nbytes in per_bin[bin_name].items():
-            a_eq[b * n_nodes + node_id[gpu], lam] += nbytes
+            lam_rows.append(b * n_nodes + node_id[gpu])
+            lam_data.append(nbytes)
+    rows.append(np.asarray(lam_rows, dtype=np.int64))
+    cols.append(np.full(len(lam_rows), lam, dtype=np.int64))
+    data.append(np.asarray(lam_data))
+    a_eq = coo_matrix(
+        (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n_comm * n_nodes, n_vars),
+    )
+    b_eq = np.zeros(n_comm * n_nodes)
 
     # inequality: sum over commodities of x on edge e <= cap(e)
-    finite = [e for e, (_, _, cap, _) in enumerate(edges) if np.isfinite(cap)]
-    a_ub = lil_matrix((len(finite), n_vars))
-    b_ub = np.zeros(len(finite))
-    for row, e in enumerate(finite):
-        for b in range(n_comm):
-            a_ub[row, b * n_edges + e] = 1.0
-        b_ub[row] = edges[e][2]
+    caps = np.array([cap for _, _, cap, _ in edges])
+    finite = np.flatnonzero(np.isfinite(caps))
+    ub_rows = np.tile(
+        np.arange(len(finite), dtype=np.int64), n_comm
+    )
+    ub_cols = (
+        np.arange(n_comm, dtype=np.int64)[:, None] * n_edges
+        + finite[None, :]
+    ).ravel()
+    a_ub = coo_matrix(
+        (np.ones(len(finite) * n_comm), (ub_rows, ub_cols)),
+        shape=(len(finite), n_vars),
+    )
+    b_ub = caps[finite]
 
     # restricted edges: zero out forbidden (commodity, edge) variables
     bounds = [(0, None)] * n_vars
@@ -199,11 +239,12 @@ def multicommodity_min_time(
     if scale <= 0:
         raise RuntimeError("demand is not routable at any positive rate")
 
+    # per-edge totals across commodities in one reshape+sum
+    flows = res.x[: n_comm * n_edges].reshape(n_comm, n_edges).sum(axis=0)
     utilisation: Dict[Tuple[str, str], float] = {}
-    for e, (u, v, cap, _) in enumerate(edges):
-        if not np.isfinite(cap):
-            continue
-        flow = float(sum(res.x[b * n_edges + e] for b in range(n_comm)))
+    for e in finite:
+        u, v, cap, _ = edges[e]
+        flow = float(flows[e])
         u_name = u[:-4] if u.endswith("/out") else u
         v_name = v[:-3] if v.endswith("/in") else v
         utilisation[(u_name, v_name)] = min(1.0, flow / cap) if cap else 0.0

@@ -292,6 +292,7 @@ def build_topology(
     name: Optional[str] = None,
     gpu_specs: Optional[Mapping[str, "GpuSpec"]] = None,
     ssd_specs: Optional[Mapping[str, "SsdSpec"]] = None,
+    validate: bool = True,
 ) -> Topology:
     """Instantiate the runtime :class:`Topology` for a placement.
 
@@ -310,7 +311,8 @@ def build_topology(
     from repro.hardware.specs import GPU_HBM_BW
 
     chassis = placement.chassis
-    chassis.validate()
+    if validate:
+        chassis.validate()
     topo = Topology(name or f"{chassis.name}/{placement.name or 'custom'}")
 
     for iname, ikind in chassis.interconnects.items():
@@ -356,7 +358,8 @@ def build_topology(
                 raise ValueError(f"NVLink pair ({a},{b}) references missing GPU")
             topo.add_link(ga, gb, bw, LinkKind.NVLINK, f"nvlink{a}-{b}")
 
-    topo.validate()
+    if validate:
+        topo.validate()
     return topo
 
 
@@ -413,3 +416,28 @@ def enumerate_placements(
 ) -> List[Placement]:
     """All feasible placements, materialised (see :func:`iter_placements`)."""
     return list(iter_placements(chassis, num_gpus, num_ssds))
+
+
+def count_placements(chassis: Chassis, num_gpus: int, num_ssds: int) -> int:
+    """``len(enumerate_placements(...))`` without enumerating.
+
+    Dynamic program over slot groups with state (GPUs seated, SSDs
+    seated), mirroring the bounded compositions of
+    :func:`iter_placements` exactly — this is how the search engine
+    keeps reporting the raw (pre-symmetry) space size now that the
+    direct canonical enumerator never materialises duplicates.
+    """
+    states: Dict[Tuple[int, int], int] = {(0, 0): 1}
+    for group in chassis.slot_groups:
+        gpu_cap = group.capacity_for(GPU)
+        ssd_ok = SSD in group.allowed
+        new: Dict[Tuple[int, int], int] = {}
+        for (ng_used, ns_used), ways in states.items():
+            for ng in range(min(gpu_cap, num_gpus - ng_used) + 1):
+                free_units = group.units - ng * SLOT_UNITS[GPU]
+                ssd_cap = free_units if ssd_ok else 0
+                for ns in range(min(ssd_cap, num_ssds - ns_used) + 1):
+                    key = (ng_used + ng, ns_used + ns)
+                    new[key] = new.get(key, 0) + ways
+        states = new
+    return states.get((num_gpus, num_ssds), 0)

@@ -6,17 +6,22 @@ pluggable pipeline so callers (the single-machine optimizer, the
 multi-node driver, baselines and experiments) all speak the same
 :class:`SearchRequest`/:class:`SearchResult` types:
 
-1. **Streaming enumeration** — a :class:`CandidateSource` yields
+1. **Direct canonical enumeration** — a :class:`CandidateSource` yields
    ``(placement, canonical_key)`` pairs.  :class:`EnumeratedSource`
-   streams :func:`repro.core.placement.iter_placements` through the
-   incremental :class:`repro.core.symmetry.CanonicalFilter`, so
-   symmetric duplicates are pruned as they are produced instead of
-   materialising the full candidate list first.
+   streams :func:`repro.core.symmetry.iter_canonical_placements`, which
+   produces exactly one representative per symmetry orbit *directly*
+   (no rejected duplicates are ever constructed); the raw pre-dedupe
+   candidate count is computed analytically by
+   :func:`repro.core.placement.count_placements`.
 2. **Coarse scoring (pass 1)** — :class:`FlexibleMaxFlowScorer`, the
-   paper's time-bisection max flow on *flexible* class demands.  Its
-   throughput is an upper bound on the exact score (the class demand is
-   a relaxation of any concrete bin split), which makes it both the
-   top-k funnel key and the pruning bound.
+   paper's time-search max flow on *flexible* class demands, solved by
+   the vectorized cut-parametric kernel (:mod:`repro.core.flowbatch`):
+   candidates are scored in batches whose capacity matrices are stacked
+   into NumPy arrays, and each batch's first solution warm-starts the
+   rest (``search.warm_starts``).  Its throughput is an upper bound on
+   the exact score (the class demand is a relaxation of any concrete
+   bin split), which makes it both the top-k funnel key and the pruning
+   bound.
 3. **Exact scoring (pass 2)** — :class:`MulticommodityScorer`, the
    multicommodity concurrent-flow LP on the concretised demand.  Only
    the ``lp_top_k`` best pass-1 candidates reach this stage, and with
@@ -60,16 +65,16 @@ from typing import (
 import numpy as np
 
 from repro import obs
+from repro.core.flowbatch import fast_min_completion_time, fast_score_batch
 from repro.core.flowmodel import (
     CPU_CLASS,
     SSD_CLASS,
     FlowPrediction,
     TrafficDemand,
-    min_completion_time,
 )
 from repro.core.mcmf import McfPrediction, multicommodity_min_time
-from repro.core.placement import Chassis, Placement, iter_placements
-from repro.core.symmetry import CanonicalFilter
+from repro.core.placement import Chassis, Placement, count_placements
+from repro.core.symmetry import iter_canonical_placements
 from repro.core.topology import NodeKind, Topology, TopologyMask
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids import cycle
@@ -98,6 +103,8 @@ PRUNE_EQUIV_TOL = 1e-3
 # ----------------------------------------------------------------------
 _DEFAULT_WORKERS: Optional[int] = None
 _DEFAULT_PRUNE: Optional[bool] = None
+_DEFAULT_BATCH: Optional[int] = None
+_DEFAULT_WARM: Optional[bool] = None
 
 
 def default_workers() -> int:
@@ -133,6 +140,47 @@ def set_default_prune_bounds(prune: Optional[bool]) -> None:
     """Override the process-wide pruning default (None = env/off)."""
     global _DEFAULT_PRUNE
     _DEFAULT_PRUNE = None if prune is None else bool(prune)
+
+
+def default_batch_size() -> int:
+    """Default pass-1 scoring batch size: ``REPRO_SEARCH_BATCH`` or 32.
+
+    Serial and parallel runs use the *same* batch size, so warm-start
+    chaining (which operates within a batch) partitions the candidate
+    stream identically for every worker count — a determinism
+    requirement, not just a tuning default.
+    """
+    if _DEFAULT_BATCH is not None:
+        return _DEFAULT_BATCH
+    try:
+        return max(1, int(os.environ.get("REPRO_SEARCH_BATCH", "32")))
+    except ValueError:
+        return 32
+
+
+def set_default_batch_size(batch: Optional[int]) -> None:
+    """Override the process-wide batch-size default (None = env/32)."""
+    global _DEFAULT_BATCH
+    _DEFAULT_BATCH = None if batch is None else max(1, int(batch))
+
+
+def default_warm_starts() -> bool:
+    """Default warm-start switch: ``REPRO_SEARCH_WARM`` != 0 (on).
+
+    On by default: a warm cut only seeds the cut-parametric time search
+    with a valid lower bound, so warm and cold solves converge to the
+    *same* exact breakpoint — the knob exists for diagnosis (forcing
+    every candidate down the cold path), not because results differ.
+    """
+    if _DEFAULT_WARM is not None:
+        return _DEFAULT_WARM
+    return os.environ.get("REPRO_SEARCH_WARM", "1") not in ("0", "")
+
+
+def set_default_warm_starts(warm: Optional[bool]) -> None:
+    """Override the process-wide warm-start default (None = env/on)."""
+    global _DEFAULT_WARM
+    _DEFAULT_WARM = None if warm is None else bool(warm)
 
 
 # ----------------------------------------------------------------------
@@ -235,8 +283,10 @@ class ScoredPlacement:
 class CandidateSource(Protocol):
     """Streams ``(placement, canonical_key)`` pairs into the engine.
 
-    ``num_seen`` must report how many raw candidates were produced
-    (before dedupe) once :meth:`stream` is exhausted.
+    ``num_seen`` reports the raw (pre-dedupe) candidate count.  It is
+    valid at any time — before, during, or after :meth:`stream` — and
+    does not require the stream to run: sources that never construct
+    the raw enumeration compute it analytically.
     """
 
     @property
@@ -246,28 +296,46 @@ class CandidateSource(Protocol):
 
 
 class EnumeratedSource:
-    """Full slot-feasible enumeration with incremental symmetry dedupe."""
+    """Direct canonical enumeration of the slot-feasible space.
+
+    Streams :func:`repro.core.symmetry.iter_canonical_placements`: one
+    representative per symmetry orbit, produced directly (the rejected
+    orbit members are never constructed, unlike the historical
+    enumerate-then-:class:`~repro.core.symmetry.CanonicalFilter`
+    pipeline this replaces).  The yielded key is the representative's
+    own count tuple — under the direct scheme the representative *is*
+    the orbit's enumeration-order minimum, so its tuple is already a
+    unique orbit id.
+
+    ``num_seen`` is the raw pre-dedupe count, computed analytically by
+    :func:`repro.core.placement.count_placements` (and cached); the
+    historical semantics — "0 until the stream is exhausted, then the
+    number of raw candidates iterated" — are gone.  ``num_direct``
+    counts the canonical placements actually yielded so far.
+    """
 
     def __init__(self, chassis: Chassis, num_gpus: int, num_ssds: int) -> None:
         self.chassis = chassis
         self.num_gpus = num_gpus
         self.num_ssds = num_ssds
-        self._seen = 0
+        self._raw_count: Optional[int] = None
+        self.num_direct = 0
 
     @property
     def num_seen(self) -> int:
-        return self._seen
+        if self._raw_count is None:
+            self._raw_count = count_placements(
+                self.chassis, self.num_gpus, self.num_ssds
+            )
+        return self._raw_count
 
     def stream(self) -> Iterator[Tuple[Placement, Tuple]]:
-        filt = CanonicalFilter(self.chassis)
-        self._seen = 0
-        for placement in iter_placements(
+        self.num_direct = 0
+        for placement in iter_canonical_placements(
             self.chassis, self.num_gpus, self.num_ssds
         ):
-            self._seen += 1
-            key = filt.admit(placement)
-            if key is not None:
-                yield placement, key
+            self.num_direct += 1
+            yield placement, placement.as_tuple()
 
 
 class ExplicitSource:
@@ -304,12 +372,7 @@ def sample_placements(
     restricted search stays bounded on any fabric.  ``cap <= 0``, or a
     space no larger than ``cap``, returns every canonical placement.
     """
-    filt = CanonicalFilter(chassis)
-    canon = [
-        p
-        for p in iter_placements(chassis, num_gpus, num_ssds)
-        if filt.admit(p) is not None
-    ]
+    canon = list(iter_canonical_placements(chassis, num_gpus, num_ssds))
     if cap <= 0 or len(canon) <= cap:
         return canon
     stride = len(canon) / cap
@@ -332,12 +395,19 @@ class Scorer(Protocol):
 
 @dataclass(frozen=True)
 class FlexibleMaxFlowScorer:
-    """Pass 1: time-bisection max flow on flexible class demands.
+    """Pass 1: time-search max flow on flexible class demands.
 
     The solver decides how much traffic each drive/bank should ideally
     serve — these weights are what DDAK will realise via data placement,
     and the resulting throughput is an optimistic *upper bound* on the
     exact pass-2 score.
+
+    Solved by the vectorized cut-parametric kernel
+    (:mod:`repro.core.flowbatch`), which returns the *exact* breakpoint
+    time — no bisection, no tolerance.  ``rel_tol`` is kept for API
+    compatibility with the legacy bisection path
+    (:func:`repro.core.flowmodel.min_completion_time`, retained as the
+    differential-test reference) but is unused here.
     """
 
     fractions: Tuple[float, float, float]
@@ -346,13 +416,36 @@ class FlexibleMaxFlowScorer:
 
     name = "pass1.maxflow"
 
+    def _demand(self, topo: Topology) -> TrafficDemand:
+        return scoring_demand(
+            topo, self.fractions, gpu_cache_policy=self.gpu_cache_policy
+        )
+
     def score(
         self, topo: Topology, placement: Placement, prior: object = None
     ) -> FlowPrediction:
-        demand = scoring_demand(
-            topo, self.fractions, gpu_cache_policy=self.gpu_cache_policy
+        """Score one candidate.  ``prior``, when given, is a warm-start
+        cut partition (node labels) from a related solve."""
+        warm = prior if prior else None
+        return fast_min_completion_time(
+            topo, self._demand(topo), warm_partition=warm
         )
-        return min_completion_time(topo, demand, rel_tol=self.rel_tol)
+
+    def score_batch(
+        self,
+        topos: Sequence[Topology],
+        warm_partition: Optional[Tuple[str, ...]] = None,
+        chain: bool = True,
+    ) -> Tuple[List[Optional[FlowPrediction]], int]:
+        """Score a batch of candidate topologies in NumPy lockstep.
+
+        Returns ``(predictions, warm_starts)``; see
+        :func:`repro.core.flowbatch.fast_score_batch`.
+        """
+        jobs = [(topo, self._demand(topo)) for topo in topos]
+        return fast_score_batch(
+            jobs, warm_partition=warm_partition, chain=chain
+        )
 
 
 @dataclass(frozen=True)
@@ -386,7 +479,16 @@ class MulticommodityScorer:
 # inline path and every pool worker)
 # ----------------------------------------------------------------------
 class _ScoreRuntime:
-    """Builds (and caches) topologies and applies scorers to chunks."""
+    """Builds (and caches) topologies and applies scorers to chunks.
+
+    A chunk handed to a batch-capable scorer (one exposing
+    ``score_batch``) is solved as one NumPy-lockstep batch: the chunk's
+    first candidate is solved alone (seeded by ``warm_cut`` when warm
+    starts are enabled) and its binding cut warm-starts the rest.
+    Chaining never crosses a chunk boundary, so identical chunking
+    (guaranteed by the shared :func:`default_batch_size`) makes serial
+    and parallel runs solve identical batches.
+    """
 
     def __init__(
         self,
@@ -394,14 +496,20 @@ class _ScoreRuntime:
         nvlink_pairs: Optional[Tuple[Tuple[int, int], ...]],
         scorers: Dict[str, Scorer],
         mask: Optional[TopologyMask] = None,
+        warm: bool = True,
+        warm_cut: Optional[Tuple[str, ...]] = None,
     ) -> None:
         self.machine = machine
         self.nvlink_pairs = nvlink_pairs
         self.scorers = scorers
         self.mask = mask
+        self.warm = warm
+        self.warm_cut = warm_cut if warm else None
         self._topologies: Dict[Tuple, Topology] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.warm_starts = 0
+        self.batch_sizes: List[int] = []
 
     def topology(self, placement: Placement) -> Topology:
         key = placement.as_tuple()
@@ -410,7 +518,11 @@ class _ScoreRuntime:
             self.cache_hits += 1
             return topo
         self.cache_misses += 1
-        topo = self.machine.build(placement, nvlink_pairs=self.nvlink_pairs)
+        # candidates come from the validated enumeration, so the chassis
+        # and topology invariant sweeps are skipped in the hot path
+        topo = self.machine.build(
+            placement, nvlink_pairs=self.nvlink_pairs, validate=False
+        )
         if self.mask:
             # degraded-fabric search (replanning): every candidate is
             # scored on the surviving topology
@@ -422,28 +534,51 @@ class _ScoreRuntime:
         self, stage: str, items: Sequence[Tuple[int, Placement, object]]
     ) -> List[Tuple[int, object]]:
         scorer = self.scorers[stage]
+        batcher = getattr(scorer, "score_batch", None)
+        if batcher is not None:
+            topos = [self.topology(placement) for _, placement, _ in items]
+            predictions, warm_starts = batcher(
+                topos, warm_partition=self.warm_cut, chain=self.warm
+            )
+            self.warm_starts += warm_starts
+            self.batch_sizes.append(len(items))
+            return [
+                (idx, prediction)
+                for (idx, _, _), prediction in zip(items, predictions)
+            ]
         return [
             (idx, scorer.score(self.topology(placement), placement, prior))
             for idx, placement, prior in items
         ]
 
-    def take_cache_stats(self) -> Tuple[int, int]:
-        hits, misses = self.cache_hits, self.cache_misses
-        self.cache_hits = self.cache_misses = 0
-        return hits, misses
+    def take_stats(self) -> Tuple[int, int, int, Tuple[int, ...]]:
+        """Drain (cache_hits, cache_misses, warm_starts, batch_sizes)."""
+        stats = (
+            self.cache_hits,
+            self.cache_misses,
+            self.warm_starts,
+            tuple(self.batch_sizes),
+        )
+        self.cache_hits = self.cache_misses = self.warm_starts = 0
+        self.batch_sizes = []
+        return stats
 
 
 _WORKER_RUNTIME: Optional[_ScoreRuntime] = None
 
 
-def _pool_init(machine, nvlink_pairs, scorers, mask=None) -> None:
+def _pool_init(
+    machine, nvlink_pairs, scorers, mask=None, warm=True, warm_cut=None
+) -> None:
     global _WORKER_RUNTIME
-    _WORKER_RUNTIME = _ScoreRuntime(machine, nvlink_pairs, scorers, mask)
+    _WORKER_RUNTIME = _ScoreRuntime(
+        machine, nvlink_pairs, scorers, mask, warm=warm, warm_cut=warm_cut
+    )
 
 
 def _pool_chunk(stage, items):
     results = _WORKER_RUNTIME.run_chunk(stage, items)
-    return results, _WORKER_RUNTIME.take_cache_stats()
+    return results, _WORKER_RUNTIME.take_stats()
 
 
 class ParallelExecutor:
@@ -462,13 +597,22 @@ class ParallelExecutor:
         scorers: Dict[str, Scorer],
         workers: int = 1,
         mask: Optional[TopologyMask] = None,
+        warm: bool = True,
+        warm_cut: Optional[Tuple[str, ...]] = None,
     ) -> None:
         self.workers = max(1, int(workers))
-        self._init_args = (machine, nvlink_pairs, dict(scorers), mask)
-        self._local = _ScoreRuntime(machine, nvlink_pairs, dict(scorers), mask)
+        self._init_args = (
+            machine, nvlink_pairs, dict(scorers), mask, warm, warm_cut,
+        )
+        self._local = _ScoreRuntime(
+            machine, nvlink_pairs, dict(scorers), mask,
+            warm=warm, warm_cut=warm_cut,
+        )
         self._pool: Optional[ProcessPoolExecutor] = None
         self.cache_hits = 0
         self.cache_misses = 0
+        self.warm_starts = 0
+        self.batch_sizes: List[int] = []
 
     # -- lifecycle -------------------------------------------------------
     def __enter__(self) -> "ParallelExecutor":
@@ -486,9 +630,17 @@ class ParallelExecutor:
             self._pool = None
 
     # -- execution -------------------------------------------------------
-    def _absorb(self, hits: int, misses: int) -> None:
+    def _absorb(
+        self,
+        hits: int,
+        misses: int,
+        warm_starts: int = 0,
+        batch_sizes: Tuple[int, ...] = (),
+    ) -> None:
         self.cache_hits += hits
         self.cache_misses += misses
+        self.warm_starts += warm_starts
+        self.batch_sizes.extend(batch_sizes)
 
     def run_stage(
         self,
@@ -502,7 +654,7 @@ class ParallelExecutor:
             return []
         if self._pool is None:
             out = self._local.run_chunk(stage, items)
-            self._absorb(*self._local.take_cache_stats())
+            self._absorb(*self._local.take_stats())
             return out
         if chunk_size is None:
             chunk_size = max(1, -(-len(items) // (self.workers * 4)))
@@ -515,16 +667,16 @@ class ParallelExecutor:
         ]
         results: List[Tuple[int, object]] = []
         for future in futures:
-            chunk_results, (hits, misses) = future.result()
+            chunk_results, stats = future.result()
             results.extend(chunk_results)
-            self._absorb(hits, misses)
+            self._absorb(*stats)
         results.sort(key=lambda pair: pair[0])
         return results
 
     def topology(self, placement: Placement) -> Topology:
         """Build (or fetch from the local cache) one topology."""
         topo = self._local.topology(placement)
-        self._absorb(*self._local.take_cache_stats())
+        self._absorb(*self._local.take_stats())
         return topo
 
 
@@ -558,6 +710,18 @@ class SearchRequest:
     #: Score every candidate on the degraded (surviving) topology —
     #: used by fault replanning.  ``None`` searches the healthy fabric.
     mask: Optional[TopologyMask] = None
+    #: Warm-start hint: the binding-cut node labels
+    #: (``FlowPrediction.cut_partition``) of a previous, related solve —
+    #: e.g. the healthy-fabric prediction when re-searching under a
+    #: ``mask``, or the current placement when scoring a single-slot
+    #: swap.  Seeds the first candidate of every pass-1 batch; warm and
+    #: cold solves reach the same exact answer.
+    warm_cut: Optional[Tuple[str, ...]] = None
+    #: Enable warm-started pass-1 scoring (batch chaining + ``warm_cut``
+    #: seeding); None = :func:`default_warm_starts` (env/on).
+    warm_starts: Optional[bool] = None
+    #: Pass-1 scoring batch size; None = :func:`default_batch_size`.
+    batch_size: Optional[int] = None
 
     def resolved_workers(self) -> int:
         """The effective worker count for this request."""
@@ -570,6 +734,18 @@ class SearchRequest:
         if self.prune_bounds is None:
             return default_prune_bounds()
         return bool(self.prune_bounds)
+
+    def resolved_warm_starts(self) -> bool:
+        """The effective warm-start switch for this request."""
+        if self.warm_starts is None:
+            return default_warm_starts()
+        return bool(self.warm_starts)
+
+    def resolved_batch_size(self) -> int:
+        """The effective pass-1 batch size for this request."""
+        if self.batch_size is None:
+            return default_batch_size()
+        return max(1, int(self.batch_size))
 
 
 @dataclass
@@ -598,6 +774,14 @@ class SearchResult:
     workers: int = 1
     #: Wall-clock duration of the engine run (``search.run`` span).
     seconds: float = 0.0
+    #: Pass-1 solves that started from a warm (non-zero) cut root.
+    warm_starts: int = 0
+    #: Pass-1 scoring batches dispatched (serial and parallel alike).
+    num_batches: int = 0
+    #: Canonical placements yielded directly by the source (equals
+    #: ``num_unique`` for :class:`EnumeratedSource`; 0 for sources
+    #: without direct canonical enumeration).
+    canonical_direct: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -626,6 +810,7 @@ class SearchEngine:
         lp_top_k: int = 48,
         top_k: int = 10,
         prune_bounds: bool = False,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.source = source
         self.coarse = coarse
@@ -634,19 +819,25 @@ class SearchEngine:
         self.lp_top_k = max(1, lp_top_k)
         self.top_k = max(1, top_k)
         self.prune_bounds = prune_bounds
+        self.batch_size = max(
+            1, batch_size if batch_size is not None else default_batch_size()
+        )
 
     # -- stage 1: stream candidates through the coarse scorer ------------
     def _stream_pass1(self):
         """Enumerate, dedupe and coarse-score, overlapped.
 
-        Admitted candidates are chunked and dispatched to the executor
-        *while enumeration is still running*, so the process pool starts
-        scoring before the stream is exhausted.  Returns ``entries``
-        with ``entries[i] = (index, placement, pass1_prediction)`` in
-        enumeration order.
+        Admitted candidates are chunked into fixed ``batch_size`` scoring
+        batches and dispatched to the executor *while enumeration is
+        still running*, so the process pool starts scoring before the
+        stream is exhausted.  Serial and parallel runs use the same
+        batch size (warm-start chaining operates within a batch, so
+        identical chunking keeps every worker count solving identical
+        batches).  Returns ``entries`` with ``entries[i] = (index,
+        placement, pass1_prediction)`` in enumeration order.
         """
         chunk: List[Tuple[int, Placement, object]] = []
-        chunk_size = 32 if self.executor.workers > 1 else 1
+        chunk_size = self.batch_size
         placements: List[Placement] = []
         results: List[Tuple[int, object]] = []
         for placement, _key in self.source.stream():
@@ -792,6 +983,9 @@ class SearchEngine:
                 cache_hits=self.executor.cache_hits,
                 cache_misses=self.executor.cache_misses,
                 workers=self.executor.workers,
+                warm_starts=self.executor.warm_starts,
+                num_batches=len(self.executor.batch_sizes),
+                canonical_direct=getattr(self.source, "num_direct", 0),
             )
             root.set(
                 unique=result.num_unique,
@@ -801,9 +995,13 @@ class SearchEngine:
         result.seconds = root.duration
         obs.add("search.candidates", result.num_candidates)
         obs.add("search.unique", result.num_unique)
+        obs.add("search.canonical_direct", result.canonical_direct)
         obs.add("search.pass1_scored", result.num_unique)
         obs.add("search.lp_scored", result.num_lp_scored)
         obs.add("search.pruned_by_bound", result.pruned_by_bound)
+        obs.add("search.warm_starts", result.warm_starts)
+        for size in self.executor.batch_sizes:
+            obs.observe("search.batch_size", size)
         obs.add("search.topo_cache.hits", result.cache_hits)
         obs.add("search.topo_cache.misses", result.cache_misses)
         return result
@@ -836,6 +1034,8 @@ def run_search(request: SearchRequest) -> SearchResult:
         {"coarse": coarse, "exact": exact},
         workers=request.resolved_workers(),
         mask=request.mask,
+        warm=request.resolved_warm_starts(),
+        warm_cut=request.warm_cut,
     )
     engine = SearchEngine(
         source,
@@ -845,6 +1045,7 @@ def run_search(request: SearchRequest) -> SearchResult:
         lp_top_k=request.lp_top_k,
         top_k=request.top_k,
         prune_bounds=request.resolved_prune_bounds(),
+        batch_size=request.resolved_batch_size(),
     )
     try:
         return engine.run()

@@ -19,9 +19,19 @@ mechanisms:
 from __future__ import annotations
 
 from itertools import permutations
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.placement import Chassis, Placement
+import numpy as np
+
+from repro.core.placement import (
+    GPU,
+    SLOT_UNITS,
+    SSD,
+    Chassis,
+    Placement,
+    _compositions,
+    iter_placements,
+)
 
 
 # ----------------------------------------------------------------------
@@ -233,6 +243,79 @@ class CanonicalFilter:
             return None
         self._seen.add(key)
         return key
+
+
+def iter_canonical_placements(
+    chassis: Chassis,
+    num_gpus: int,
+    num_ssds: int,
+    symmetries: Optional[Sequence[Dict[str, str]]] = None,
+) -> Iterator[Placement]:
+    """Yield only canonical placements, without generating duplicates.
+
+    Produces exactly the placements (in exactly the order) that
+    streaming :func:`~repro.core.placement.iter_placements` through
+    :class:`CanonicalFilter` admits, but never constructs the rejected
+    orbit members: the enumeration ascends lexicographically on the
+    concatenated ``(gpu counts, ssd counts)`` vector, so the first-seen
+    orbit member is the orbit's concat-order minimum — a placement is
+    canonical iff its concat vector is ``<=`` every symmetric
+    relabeling of itself.  That test is run vectorized over the whole
+    count matrix with NumPy (one column permutation + lexicographic
+    compare per non-trivial symmetry).
+
+    Note the concat order differs from :func:`canonical_key`'s
+    *interleaved* order — an orbit's interleaved-lex minimum can be a
+    different member than its concat-lex minimum — so the admission
+    test deliberately uses concat order to reproduce the filter's
+    representatives bit-for-bit.
+    """
+    if symmetries is None:
+        symmetries = slot_group_symmetries(chassis)
+    nontrivial = [s for s in symmetries if any(k != v for k, v in s.items())]
+    if not nontrivial:
+        yield from iter_placements(chassis, num_gpus, num_ssds)
+        return
+
+    groups = chassis.slot_groups
+    n_groups = len(groups)
+    index = {g.name: i for i, g in enumerate(groups)}
+    # column map per symmetry: relabeled[:, j] = rows[:, pre[j]] where
+    # pre[j] indexes the preimage group; GPU and SSD halves permute
+    # identically
+    col_maps = []
+    for sym in nontrivial:
+        pre = [index[_preimage(sym, g.name)] for g in groups]
+        col_maps.append(pre + [n_groups + p for p in pre])
+
+    rows: List[Tuple[int, ...]] = []
+    gpu_caps = [g.capacity_for(GPU) for g in groups]
+    for gpu_counts in _compositions(num_gpus, gpu_caps):
+        ssd_caps = []
+        for g, ng in zip(groups, gpu_counts):
+            free_units = g.units - ng * SLOT_UNITS[GPU]
+            ssd_caps.append(free_units if SSD in g.allowed else 0)
+        for ssd_counts in _compositions(num_ssds, ssd_caps):
+            rows.append(gpu_counts + ssd_counts)
+    if not rows:
+        return
+    mat = np.asarray(rows, dtype=np.int64)
+    keep = np.ones(len(rows), dtype=bool)
+    arange = np.arange(len(rows))
+    for cols in col_maps:
+        diff = mat[:, cols] - mat
+        nz = diff != 0
+        any_nz = nz.any(axis=1)
+        first_val = diff[arange, np.argmax(nz, axis=1)]
+        # row <= relabeled row  ⇔  equal, or first differing entry grows
+        keep &= ~any_nz | (first_val > 0)
+    group_names = [g.name for g in groups]
+    for row in mat[keep]:
+        counts = {
+            name: {GPU: int(row[i]), SSD: int(row[n_groups + i])}
+            for i, name in enumerate(group_names)
+        }
+        yield Placement(chassis, counts)
 
 
 def dedupe_placements(

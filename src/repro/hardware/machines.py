@@ -77,8 +77,14 @@ class MachineSpec:
         self,
         placement: Placement,
         nvlink_pairs: Optional[Sequence[Tuple[int, int]]] = None,
+        validate: bool = True,
     ) -> Topology:
-        """Instantiate the runtime topology for a placement."""
+        """Instantiate the runtime topology for a placement.
+
+        ``validate=False`` skips the chassis/topology invariant sweeps —
+        the search engine's hot path builds hundreds of topologies from
+        the already-validated enumeration and opts out.
+        """
         return build_topology(
             placement,
             self.gpu,
@@ -87,6 +93,7 @@ class MachineSpec:
             name=f"{self.name}/{placement.name or 'custom'}",
             gpu_specs=dict(self.gpu_overrides) or None,
             ssd_specs=dict(self.ssd_overrides) or None,
+            validate=validate,
         )
 
     @property

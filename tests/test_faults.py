@@ -188,7 +188,6 @@ class TestEpochUnderFaults:
             "fail@2:ssd0",
             "slow@2:ssd0:0.3",
             "link@2:ssd0-plx0:0.25",
-            "evict@2:gpu0:0.5",
         ],
     )
     def test_each_class_degrades_throughput(self, machine, base_spec, spec):
@@ -197,6 +196,27 @@ class TestEpochUnderFaults:
             base_spec.replace(faults=FaultSchedule.parse(spec))
         )
         assert faulty.epoch.epoch_seconds > healthy.epoch.epoch_seconds
+        # pre-fault steps are untouched
+        assert faulty.epoch.step_seconds[0] == healthy.epoch.step_seconds[0]
+
+    def test_evict_moves_traffic_off_cache(self, machine, base_spec):
+        """Eviction re-routes local cache hits over the fabric.
+
+        On this configuration the extra CPU-bank reads never cross the
+        binding min cut (the SSD tier gates I/O with wide slack on the
+        memory side), so epoch time is unchanged — the observable effect
+        of the fault is the traffic shift, and throughput must not
+        *improve* beyond float noise.
+        """
+        healthy = MomentSystem(machine).run(base_spec)
+        faulty = MomentSystem(machine).run(
+            base_spec.replace(faults=FaultSchedule.parse("evict@2:gpu0:0.5"))
+        )
+        assert faulty.epoch.local_bytes < healthy.epoch.local_bytes
+        assert faulty.epoch.external_bytes > healthy.epoch.external_bytes
+        assert faulty.epoch.epoch_seconds >= healthy.epoch.epoch_seconds * (
+            1.0 - 1e-12
+        )
         # pre-fault steps are untouched
         assert faulty.epoch.step_seconds[0] == healthy.epoch.step_seconds[0]
 
