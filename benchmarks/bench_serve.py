@@ -1,0 +1,88 @@
+"""Plan-service benchmarks (repro.serve).
+
+Spins up an in-process ``PlanService`` + ``ThreadingHTTPServer`` and
+drives it with the closed-loop load generator, recording serving
+throughput and tail latency.  Under ``REPRO_JSONL`` each run emits the
+load report's scalars as ``bench:data:*`` warehouse metrics —
+``bench:data:throughput_rps`` and ``bench:data:latency_p95_s`` are the
+pair the CI ``serve-smoke`` gate tracks (direction inference: higher-
+and lower-is-better respectively).
+
+Quick profile: 60 requests from 16 clients over a 4-variant mix;
+``REPRO_FULL=1`` scales to 100 clients × 400 requests (the acceptance
+demo shape).
+"""
+
+import threading
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.serve.http import make_server, server_url
+from repro.serve.loadgen import LoadConfig, run_load
+from repro.serve.service import PlanService, ServeConfig
+
+from conftest import run_once
+
+
+@dataclass
+class ServeBenchResult:
+    """Load-report scalars in the shape ``bench_metrics`` exports."""
+
+    data: Dict[str, float]
+
+
+def run_serve_load(
+    clients: int, requests: int, mix: int = 4, seed: int = 0
+) -> ServeBenchResult:
+    """One spawn → warm → load → teardown cycle; returns the scalars."""
+    service = PlanService(
+        ServeConfig(workers=2, queue_size=128, cache_size=64)
+    ).start()
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        report = run_load(
+            LoadConfig(
+                url=server_url(server),
+                clients=clients,
+                requests=requests,
+                mix=mix,
+                seed=seed,
+                num_gpus=4,
+                num_ssds=8,
+            )
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+    assert report.errors == 0, f"{report.errors} non-200 responses"
+    return ServeBenchResult(data=report.data())
+
+
+def test_serve_throughput(benchmark, quick):
+    """Closed-loop serving throughput + p95 latency on a warmed cache."""
+    clients, requests = (16, 60) if quick else (100, 400)
+    result = run_once(
+        benchmark, run_serve_load, clients=clients, requests=requests, seed=0
+    )
+    d = result.data
+    print(
+        f"\nserve: {d['throughput_rps']:.0f} req/s, "
+        f"p95 {d['latency_p95_s'] * 1e3:.1f} ms, "
+        f"hit speedup {d.get('hit_speedup', float('nan')):.0f}x"
+    )
+    assert d["throughput_rps"] > 0
+    assert d["errors"] == 0
+
+
+def test_serve_hit_speedup(benchmark, quick):
+    """Cache-hit probes must be an order of magnitude under the cold
+    solve (the acceptance bar; measured serially on both sides)."""
+    result = run_once(
+        benchmark, run_serve_load, clients=4, requests=16, mix=2, seed=1
+    )
+    speedup = result.data.get("hit_speedup", 0.0)
+    print(f"\nhit speedup: {speedup:.0f}x")
+    assert speedup > 10, f"cache hits only {speedup:.1f}x faster than solves"

@@ -51,6 +51,7 @@ __all__ = [
     "active",
     "capture",
     "span",
+    "record_span",
     "add",
     "observe",
     "set_gauge",
@@ -179,6 +180,27 @@ def span(name: str, **attrs: object) -> Span:
     if tel is None:
         return Span(name, attrs or None)
     return tel.tracer.span(name, **attrs)
+
+
+def record_span(
+    name: str, start: float, end: float, **attrs: object
+) -> None:
+    """Record an already-measured interval as a completed root span.
+
+    For concurrent recorders (the plan service's request threads):
+    the tracer's nesting stack assumes one thread of control, so
+    threads measure their own ``perf_counter`` interval and append the
+    finished span here — as a depth-0 root, never touching the stack.
+    Callers serialize calls themselves (no-op when disabled).
+    """
+    tel = _ACTIVE
+    if tel is None:
+        return
+    sp = Span(name, attrs or None)
+    sp.start = start
+    sp.end = end
+    sp.index = len(tel.tracer.spans)
+    tel.tracer.spans.append(sp)
 
 
 def add(name: str, amount: float, **labels: object) -> None:

@@ -15,6 +15,7 @@ import platform
 import socket
 import subprocess
 import sys
+import threading
 import time
 from typing import IO, Dict, List, Optional, Union
 
@@ -152,17 +153,54 @@ def _label_of(rendered: str, label: str) -> str:
 # ----------------------------------------------------------------------
 # JSONL I/O
 # ----------------------------------------------------------------------
+#: Per-path append locks (same-process writers: server workers, load
+#: generator threads).  Keyed on the absolute path so two handles to
+#: one sink serialize; bounded in practice (a process writes to a
+#: handful of sinks).
+_APPEND_LOCKS: Dict[str, threading.Lock] = {}
+_APPEND_LOCKS_GUARD = threading.Lock()
+
+
+def _append_lock(path: str) -> threading.Lock:
+    key = os.path.abspath(path)
+    with _APPEND_LOCKS_GUARD:
+        lock = _APPEND_LOCKS.get(key)
+        if lock is None:
+            lock = _APPEND_LOCKS[key] = threading.Lock()
+        return lock
+
+
 def append_jsonl(
     path_or_file: Union[str, os.PathLike, IO[str]],
     record: Dict[str, object],
 ) -> None:
-    """Append one record as a single JSON line (creates the file)."""
-    line = json.dumps(record, default=_json_default)
+    """Append one record as a single JSON line (creates the file).
+
+    Concurrency-safe for the shapes the repo produces: for a *path*,
+    the full line is written in one ``os.write`` on an ``O_APPEND``
+    descriptor, under a per-path lock — concurrent threads of one
+    process (plan-service workers, load-generator clients) and, on
+    POSIX, separate processes appending to the same sink each land
+    whole lines, never interleaved fragments.  Multi-process writers
+    on filesystems without atomic ``O_APPEND`` (e.g. some network
+    mounts) should write per-worker files and merge them at shutdown —
+    the warehouse ingests any number of JSONL files.
+
+    File-like sinks are written with a single ``write`` call (the
+    caller owns any locking for shared handles).
+    """
+    line = json.dumps(record, default=_json_default) + "\n"
     if hasattr(path_or_file, "write"):
-        path_or_file.write(line + "\n")
+        path_or_file.write(line)
         return
-    with open(path_or_file, "a", encoding="utf-8") as fh:
-        fh.write(line + "\n")
+    path = os.fspath(path_or_file)
+    data = line.encode("utf-8")
+    with _append_lock(path):
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
 
 
 def read_jsonl(

@@ -1,0 +1,51 @@
+"""repro.serve — the planning service (plans over HTTP).
+
+Turns the library's one-shot solve (``repro.api.run``) into a
+long-running service: ``RunSpec``-shaped JSON in, ``MomentPlan`` +
+simulated throughput verdict out, under the versioned
+:data:`~repro.serve.schema.SERVE_SCHEMA` (``repro.serve/v1``).
+
+Layering (DESIGN.md §5f):
+
+* :mod:`repro.serve.schema` — request parsing + cache-key
+  normalization;
+* :mod:`repro.serve.cache` — thread-safe LRU plan cache;
+* :mod:`repro.serve.planner` — the default solver (rides
+  ``repro.api.run`` and the :mod:`repro.core.search` engine);
+* :mod:`repro.serve.service` — bounded queue, worker pool,
+  single-flight dedup, backpressure/timeout semantics;
+* :mod:`repro.serve.http` — stdlib ``ThreadingHTTPServer`` front-end;
+* :mod:`repro.serve.loadgen` — seeded open/closed-loop traffic driver.
+
+Start a server with ``python -m repro.serve --port 8421 --workers 2``;
+drive it with ``python -m repro.serve.loadgen --url http://...`` (see
+docs/API.md for the wire schema and curl-able examples).
+"""
+
+from repro.serve.cache import PlanCache
+from repro.serve.http import PlanServer, make_server, server_url
+from repro.serve.schema import (
+    SERVE_SCHEMA,
+    DatasetProfile,
+    PlanRequest,
+    RequestError,
+    cache_key,
+    parse_request,
+)
+from repro.serve.service import PlanService, ServeConfig, ServeResponse
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "DatasetProfile",
+    "PlanRequest",
+    "RequestError",
+    "parse_request",
+    "cache_key",
+    "PlanCache",
+    "PlanService",
+    "ServeConfig",
+    "ServeResponse",
+    "PlanServer",
+    "make_server",
+    "server_url",
+]

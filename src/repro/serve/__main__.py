@@ -1,0 +1,102 @@
+"""CLI entry point: ``python -m repro.serve``.
+
+Starts the planning service on a ``ThreadingHTTPServer`` and blocks
+until Ctrl-C.  Telemetry is on by default (``serve.*`` counters,
+latency histograms, per-request spans — histograms reservoir-bounded
+so a long-lived server's memory stays flat); ``--json-out`` appends
+one ``repro.obs/v1`` record with the session's telemetry at shutdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import obs
+from repro.serve.http import run_server
+from repro.serve.service import PlanService, ServeConfig
+
+#: Long-running server: bound histogram memory unless the env says
+#: otherwise (exact histograms grow one float per request).
+DEFAULT_HIST_MAX = 4096
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse flags, start the service, serve until interrupted."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Moment planning service (repro.serve/v1 over HTTP)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8421)
+    parser.add_argument(
+        "--workers", type=int, default=2, help="solver threads"
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=16, help="bounded request queue"
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=64, help="LRU plan-cache entries"
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="default per-request timeout (seconds)",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="skip obs.enable() (serve.* metrics off)",
+    )
+    parser.add_argument(
+        "--json-out",
+        help="append one repro.obs/v1 record with the session telemetry "
+        "at shutdown",
+    )
+    args = parser.parse_args(argv)
+
+    telemetry = None
+    if not args.no_telemetry:
+        cap = obs.default_histogram_max_samples() or DEFAULT_HIST_MAX
+        telemetry = obs.enable(histogram_max_samples=cap)
+
+    service = PlanService(
+        ServeConfig(
+            workers=args.workers,
+            queue_size=args.queue_size,
+            cache_size=args.cache_size,
+            default_timeout_s=args.timeout,
+        )
+    )
+    try:
+        run_server(
+            service,
+            host=args.host,
+            port=args.port,
+            ready_message=(
+                "repro.serve listening on {url} "
+                f"(workers={args.workers}, queue={args.queue_size}, "
+                f"cache={args.cache_size})"
+            ),
+        )
+    finally:
+        if args.json_out and telemetry is not None:
+            record = obs.build_run_record(
+                run_id="serve",
+                config={
+                    "benchmark": "serve",
+                    "workers": args.workers,
+                    "queue_size": args.queue_size,
+                    "cache_size": args.cache_size,
+                },
+                telemetry=telemetry,
+                meta=obs.run_metadata(stats=service.metrics_snapshot()),
+            )
+            obs.append_jsonl(args.json_out, record)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""A thread-safe LRU cache for solved plan payloads.
+
+Deliberately minimal: ``get``/``put``/``clear`` under one lock, LRU
+eviction via :class:`collections.OrderedDict` move-to-end.  Hit/miss
+accounting lives in :class:`~repro.serve.service.PlanService` (the
+cache is consulted twice per request — optimistic fast path, then
+re-check under the single-flight lock — and only the service knows
+which consultation counts).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class PlanCache:
+    """Bounded LRU mapping cache keys to solved plan payloads."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+
+    def get(self, key: Tuple) -> Optional[object]:
+        """The cached payload for ``key`` (refreshes recency), or None."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                return None
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: Tuple, value: object) -> None:
+        """Insert/refresh ``key``, evicting the least-recent entry."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        with self._lock:
+            return key in self._entries

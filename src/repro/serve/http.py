@@ -1,0 +1,176 @@
+"""Stdlib HTTP front-end for the plan service.
+
+A :class:`ThreadingHTTPServer` whose handler threads call straight into
+:meth:`~repro.serve.service.PlanService.handle` — one OS thread per
+connected client (they mostly block on cache probes or the job event,
+so hundreds are fine), solver concurrency bounded separately by the
+service's worker pool.
+
+Routes:
+
+* ``POST /v1/plan`` — one ``repro.serve/v1`` planning request;
+* ``GET  /v1/health`` — liveness + headline counters;
+* ``GET  /v1/metrics`` — full service stats snapshot.
+
+Every body (success and error) is JSON with a ``schema`` field; 429
+responses carry ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro.obs.record import _json_default
+from repro.serve.schema import SERVE_SCHEMA, error_body
+from repro.serve.service import PlanService, ServeResponse
+
+#: Planning payloads are small; anything bigger is a mistake (413).
+MAX_BODY_BYTES = 2 * 1024 * 1024
+
+
+class PlanServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`PlanService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Accept backlog: the load generator opens 100+ connections in the
+    #: same instant; the socketserver default (5) drops the burst into
+    #: SYN-retransmit territory (1s+ latency spikes, resets).
+    request_queue_size = 256
+
+    def __init__(self, address, service: PlanService) -> None:
+        super().__init__(address, PlanHandler)
+        self.service = service
+
+
+class PlanHandler(BaseHTTPRequestHandler):
+    """Routes requests into the owning server's service."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+    #: Set True (class-wide) to restore stderr access logging.
+    verbose = False
+
+    @property
+    def service(self) -> PlanService:
+        """The plan service this handler serves."""
+        return self.server.service
+
+    def log_message(self, fmt, *args) -> None:
+        """Quiet by default; the service's own metrics are the log."""
+        if self.verbose:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    def _send(self, response: ServeResponse) -> None:
+        data = json.dumps(response.body, default=_json_default).encode(
+            "utf-8"
+        )
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server contract)
+        """Handle ``POST /v1/plan``."""
+        if self.path != "/v1/plan":
+            self._send(
+                ServeResponse(
+                    404, error_body("not_found", f"no route {self.path!r}")
+                )
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send(
+                ServeResponse(
+                    413,
+                    error_body(
+                        "too_large",
+                        f"body must be <= {MAX_BODY_BYTES} bytes",
+                    ),
+                )
+            )
+            return
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            self._send(
+                ServeResponse(
+                    400, error_body("bad_request", f"invalid JSON: {err}")
+                )
+            )
+            return
+        self._send(self.service.handle(payload))
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        """Handle ``GET /v1/health`` and ``GET /v1/metrics``."""
+        if self.path == "/v1/health":
+            stats = self.service.metrics_snapshot()
+            self._send(
+                ServeResponse(
+                    200,
+                    {
+                        "schema": SERVE_SCHEMA,
+                        "status": "ok",
+                        "requests": stats["requests"],
+                        "queue_depth": stats["queue_depth"],
+                    },
+                )
+            )
+        elif self.path == "/v1/metrics":
+            body: Dict[str, object] = {"schema": SERVE_SCHEMA}
+            body.update(self.service.metrics_snapshot())
+            self._send(ServeResponse(200, body))
+        else:
+            self._send(
+                ServeResponse(
+                    404, error_body("not_found", f"no route {self.path!r}")
+                )
+            )
+
+
+def make_server(
+    service: PlanService, host: str = "127.0.0.1", port: int = 0
+) -> PlanServer:
+    """A ready-to-run :class:`PlanServer` (port 0 = ephemeral).
+
+    The caller owns both lifecycles: ``service.start()`` before serving
+    and ``service.stop()`` / ``server.shutdown()`` after.
+    """
+    return PlanServer((host, port), service)
+
+
+def server_url(server: PlanServer, path: str = "") -> str:
+    """The http://host:port root (or ``path``) of a bound server."""
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def run_server(
+    service: PlanService,
+    host: str = "127.0.0.1",
+    port: int = 8421,
+    ready_message: Optional[str] = None,
+) -> None:
+    """Serve forever on the calling thread (Ctrl-C to stop)."""
+    server = make_server(service, host, port)
+    service.start()
+    if ready_message:
+        print(ready_message.format(url=server_url(server)), flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()

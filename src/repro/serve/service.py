@@ -1,0 +1,391 @@
+"""The plan service: bounded queue → worker pool → LRU plan cache.
+
+:class:`PlanService` is the transport-independent core of
+``repro.serve`` — the HTTP layer, the tests, and the load generator's
+in-process mode all call :meth:`PlanService.handle` with a parsed JSON
+payload and get back a :class:`ServeResponse` (status, body, headers).
+
+Request lifecycle (DESIGN.md §5f):
+
+1. parse + resolve hardware (failures → 400 with a structured body);
+2. optimistic cache probe — hits return immediately, no queue;
+3. under the single-flight lock: join an identical in-flight solve as
+   a *follower*, or enqueue a new job (queue full → 429 with a
+   ``Retry-After`` estimate from the EWMA solve time);
+4. wait on the job with the request's deadline (expiry → 504; the
+   solve itself is not killed — a finished late solve still seeds the
+   cache);
+5. workers drop jobs whose deadline passed while queued (graceful
+   cancellation: nobody is waiting beyond the deadline, so the LP is
+   never started).
+
+All ``serve.*`` telemetry and the local stats mirror are updated under
+one lock, so the counters stay exact no matter how many request
+threads race (the obs registry itself is not thread-safe).
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro import obs
+from repro.serve import planner as default_planner_module
+from repro.serve.cache import PlanCache
+from repro.serve.schema import (
+    SERVE_SCHEMA,
+    PlanRequest,
+    RequestError,
+    cache_key,
+    error_body,
+    parse_request,
+)
+
+
+@dataclass
+class ServeConfig:
+    """Operational knobs of one :class:`PlanService`."""
+
+    #: Solver threads (each solve may additionally fan onto the search
+    #: engine's process pool — see ``search_workers``).
+    workers: int = 2
+    #: Bounded request queue; ``put`` beyond this returns 429.
+    queue_size: int = 16
+    #: LRU plan-cache entries.
+    cache_size: int = 64
+    #: Applied when a request carries no ``timeout_s``.
+    default_timeout_s: float = 30.0
+    #: Hard ceiling on any request's effective timeout.
+    max_timeout_s: float = 300.0
+
+
+@dataclass
+class ServeResponse:
+    """One transport-ready response: HTTP status, JSON body, headers."""
+
+    status: int
+    body: Dict[str, object]
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+class _Job:
+    """One queued solve shared by its leader and any followers."""
+
+    __slots__ = (
+        "key",
+        "request",
+        "machine",
+        "deadline",
+        "done",
+        "payload",
+        "error",
+        "enqueued_at",
+        "solve_s",
+        "queued_s",
+    )
+
+    def __init__(self, key, request, machine, deadline: float) -> None:
+        self.key = key
+        self.request = request
+        self.machine = machine
+        self.deadline = deadline
+        self.done = threading.Event()
+        self.payload: Optional[Dict] = None
+        #: (kind, message) — kind "timeout" maps to 504, else 500.
+        self.error: Optional[Tuple[str, str]] = None
+        self.enqueued_at = time.perf_counter()
+        self.solve_s: Optional[float] = None
+        self.queued_s: Optional[float] = None
+
+
+_STOP = object()
+
+
+class PlanService:
+    """Thread-safe planning core: queue, workers, cache, single-flight.
+
+    ``planner`` is injectable — ``(PlanRequest, MachineSpec) -> payload
+    dict`` — so tests can substitute deterministic or deliberately slow
+    solvers; the default is :func:`repro.serve.planner.solve`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        planner: Optional[Callable[[PlanRequest, object], Dict]] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.planner = planner or default_planner_module.solve
+        self.cache = PlanCache(self.config.cache_size)
+        self._queue: "queue.Queue" = queue.Queue(
+            maxsize=self.config.queue_size
+        )
+        self._inflight: Dict[Tuple, _Job] = {}
+        self._flight_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._threads = []
+        self._started = False
+        self._ewma_solve_s: Optional[float] = None
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "ok": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "single_flight": 0,
+            "bad_requests": 0,
+            "rejected": 0,
+            "timeouts": 0,
+            "cancelled": 0,
+            "errors": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "PlanService":
+        """Spawn the worker pool (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self.config.workers):
+            t = threading.Thread(
+                target=self._worker, name=f"serve-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the workers (queued jobs are failed, not solved)."""
+        if not self._started:
+            return
+        self._started = False
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for t in self._threads:
+            t.join(timeout=timeout)
+        self._threads = []
+        # fail anything still queued so no waiter hangs
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is not _STOP:
+                job.error = ("internal", "service stopped")
+                job.done.set()
+
+    def __enter__(self) -> "PlanService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- bookkeeping (stats mirror + obs under one lock) -----------------
+    def _count(self, stat: str, metric: Optional[str] = None, **labels) -> None:
+        with self._stats_lock:
+            self.stats[stat] += 1
+            if metric is not None:
+                obs.add(metric, 1, **labels)
+
+    def _finish(
+        self, started: float, outcome: str, status: int, **span_attrs
+    ) -> None:
+        """Per-request latency sample + span, under the stats lock."""
+        now = time.perf_counter()
+        with self._stats_lock:
+            obs.observe("serve.latency", now - started, outcome=outcome)
+            obs.record_span(
+                "serve.request",
+                started,
+                now,
+                outcome=outcome,
+                status=status,
+                **span_attrs,
+            )
+
+    def _set_queue_gauge(self) -> None:
+        with self._stats_lock:
+            obs.set_gauge("serve.queue_depth", self._queue.qsize())
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Point-in-time service state (the ``/v1/metrics`` body)."""
+        with self._stats_lock:
+            out: Dict[str, object] = dict(self.stats)
+            ewma = self._ewma_solve_s
+        out.update(
+            queue_depth=self._queue.qsize(),
+            queue_capacity=self.config.queue_size,
+            inflight=len(self._inflight),
+            cache_entries=len(self.cache),
+            cache_capacity=self.cache.capacity,
+            workers=self.config.workers,
+            ewma_solve_s=ewma,
+        )
+        return out
+
+    def retry_after_s(self) -> int:
+        """Whole-second backoff hint for a 429 (queue drain estimate)."""
+        with self._stats_lock:
+            ewma = self._ewma_solve_s or 1.0
+        depth = self._queue.qsize() + 1
+        return max(1, int(math.ceil(depth * ewma / self.config.workers)))
+
+    # -- request path ----------------------------------------------------
+    def handle(self, payload: object) -> ServeResponse:
+        """Serve one parsed-JSON planning request end to end."""
+        started = time.perf_counter()
+        self._count("requests", "serve.requests")
+        try:
+            request = parse_request(payload)
+            machine = default_planner_module.resolve_machine(request)
+        except RequestError as err:
+            self._count("bad_requests", "serve.bad_requests")
+            self._finish(started, "bad_request", 400)
+            return ServeResponse(400, err.to_body())
+        key = cache_key(request, machine)
+
+        hit = self.cache.get(key)
+        if hit is not None:
+            return self._respond_hit(started, hit, "hit")
+
+        timeout = min(
+            request.timeout_s or self.config.default_timeout_s,
+            self.config.max_timeout_s,
+        )
+        deadline = started + timeout
+
+        with self._flight_lock:
+            job = self._inflight.get(key)
+            if job is not None:
+                follower = True
+            else:
+                # lost race: a worker may have cached between our probe
+                # and taking the lock — a fresh solve would be wasted
+                hit = self.cache.get(key)
+                if hit is not None:
+                    job = None
+                else:
+                    job = _Job(key, request, machine, deadline)
+                    try:
+                        self._queue.put_nowait(job)
+                    except queue.Full:
+                        self._count("rejected", "serve.rejected")
+                        self._finish(started, "rejected", 429)
+                        retry = self.retry_after_s()
+                        return ServeResponse(
+                            429,
+                            error_body(
+                                "queue_full",
+                                "request queue is full; retry later",
+                            ),
+                            headers={"Retry-After": str(retry)},
+                        )
+                    self._inflight[key] = job
+                    follower = False
+        if job is None:
+            return self._respond_hit(started, hit, "hit")
+        if follower:
+            self._count("single_flight", "serve.cache.single_flight")
+        self._set_queue_gauge()
+
+        remaining = deadline - time.perf_counter()
+        finished = job.done.wait(timeout=max(0.0, remaining))
+        if not finished:
+            self._count("timeouts", "serve.timeouts")
+            self._finish(started, "timeout", 504)
+            return ServeResponse(
+                504,
+                error_body(
+                    "timeout",
+                    f"request did not complete within {timeout:.3f}s",
+                ),
+            )
+        if job.error is not None:
+            kind, message = job.error
+            if kind == "timeout":
+                self._count("timeouts", "serve.timeouts")
+                self._finish(started, "timeout", 504)
+                return ServeResponse(504, error_body("timeout", message))
+            self._count("errors", "serve.errors")
+            self._finish(started, "error", 500)
+            return ServeResponse(500, error_body("internal", message))
+
+        outcome = "single_flight" if follower else "miss"
+        if not follower:
+            self._count("cache_misses", "serve.cache.miss")
+        self._count("ok")
+        self._finish(started, outcome, 200, solve_s=job.solve_s)
+        return ServeResponse(
+            200,
+            self._body(job.payload, outcome, started, job),
+        )
+
+    def _respond_hit(
+        self, started: float, payload: Dict, outcome: str
+    ) -> ServeResponse:
+        self._count("cache_hits", "serve.cache.hit")
+        self._count("ok")
+        self._finish(started, outcome, 200)
+        return ServeResponse(200, self._body(payload, outcome, started))
+
+    @staticmethod
+    def _body(
+        payload: Dict,
+        outcome: str,
+        started: float,
+        job: Optional[_Job] = None,
+    ) -> Dict[str, object]:
+        body = dict(payload)
+        body["schema"] = SERVE_SCHEMA
+        body["cache"] = outcome
+        timing: Dict[str, object] = {
+            "total_s": time.perf_counter() - started
+        }
+        if job is not None:
+            timing["solve_s"] = job.solve_s
+            timing["queued_s"] = job.queued_s
+        body["timing"] = timing
+        return body
+
+    # -- worker pool -----------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                return
+            self._set_queue_gauge()
+            now = time.perf_counter()
+            job.queued_s = now - job.enqueued_at
+            if now >= job.deadline:
+                # graceful cancellation: every waiter's deadline passed
+                # while the job sat queued — don't start the LP at all
+                job.error = (
+                    "timeout",
+                    "deadline expired before a worker was free",
+                )
+                self._count("cancelled", "serve.cancelled")
+            else:
+                t0 = now
+                try:
+                    payload = self.planner(job.request, job.machine)
+                    job.solve_s = time.perf_counter() - t0
+                    self.cache.put(job.key, payload)
+                    job.payload = payload
+                    with self._stats_lock:
+                        obs.observe("serve.solve_s", job.solve_s)
+                        prev = self._ewma_solve_s
+                        self._ewma_solve_s = (
+                            job.solve_s
+                            if prev is None
+                            else 0.7 * prev + 0.3 * job.solve_s
+                        )
+                except Exception as err:  # solver bugs must not kill workers
+                    job.error = (
+                        "internal", f"{type(err).__name__}: {err}"
+                    )
+            with self._flight_lock:
+                self._inflight.pop(job.key, None)
+            job.done.set()
