@@ -13,7 +13,7 @@ Enable for a whole process with :func:`enable`, or scoped with
     from repro import obs
 
     with obs.capture() as tel:
-        MomentSystem(machine).run(dataset)
+        MomentSystem(machine).run(RunSpec(dataset=dataset))
     print(obs.report.render_telemetry(tel))
 
 ``python -m repro.experiments <id> --trace --json-out run.jsonl`` wires

@@ -424,8 +424,9 @@ class GnnSystem:
             if spec is not None:
                 kwargs["dataset"] = spec
             warnings.warn(
-                "GnnSystem.run(dataset, **kwargs) is deprecated; pass a "
-                "repro.RunSpec instead (identical results)",
+                "GnnSystem.run(dataset, **kwargs) is deprecated and will "
+                "be removed in 2.0; pass a repro.RunSpec instead "
+                "(identical results)",
                 DeprecationWarning,
                 stacklevel=2,
             )

@@ -46,6 +46,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="default per-request timeout (seconds)",
     )
     parser.add_argument(
+        "--solver-processes",
+        type=int,
+        default=0,
+        help="route solves through an N-process pool (0 = solve on the "
+        "worker threads); N cold solves then run on N cores",
+    )
+    parser.add_argument(
+        "--cache-path",
+        help="persist solved plans to this JSONL segment "
+        "(repro.servecache/v1) and reload them on restart",
+    )
+    parser.add_argument(
+        "--store-max-entries",
+        type=int,
+        default=4096,
+        help="live-entry bound of the persistent store",
+    )
+    parser.add_argument(
+        "--job-ttl",
+        type=float,
+        default=300.0,
+        help="seconds finished jobs stay pollable via GET /v1/jobs/<id>",
+    )
+    parser.add_argument(
         "--no-telemetry",
         action="store_true",
         help="skip obs.enable() (serve.* metrics off)",
@@ -68,6 +92,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             queue_size=args.queue_size,
             cache_size=args.cache_size,
             default_timeout_s=args.timeout,
+            solver_processes=args.solver_processes,
+            cache_path=args.cache_path,
+            store_max_entries=args.store_max_entries,
+            job_ttl_s=args.job_ttl,
         )
     )
     try:
@@ -78,7 +106,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             ready_message=(
                 "repro.serve listening on {url} "
                 f"(workers={args.workers}, queue={args.queue_size}, "
-                f"cache={args.cache_size})"
+                f"cache={args.cache_size}, "
+                f"solver_processes={args.solver_processes}, "
+                f"cache_path={args.cache_path})"
             ),
         )
     finally:
@@ -90,6 +120,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "workers": args.workers,
                     "queue_size": args.queue_size,
                     "cache_size": args.cache_size,
+                    "solver_processes": args.solver_processes,
+                    "cache_path": args.cache_path,
                 },
                 telemetry=telemetry,
                 meta=obs.run_metadata(stats=service.metrics_snapshot()),

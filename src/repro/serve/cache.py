@@ -48,6 +48,15 @@ class PlanCache:
         with self._lock:
             self._entries.clear()
 
+    def drop_where(self, predicate) -> int:
+        """Drop entries whose *key* matches ``predicate``; returns the
+        count (used by fingerprint invalidation)."""
+        with self._lock:
+            doomed = [k for k in self._entries if predicate(k)]
+            for key in doomed:
+                del self._entries[key]
+        return len(doomed)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

@@ -8,12 +8,17 @@ service's worker pool.
 
 Routes:
 
-* ``POST /v1/plan`` — one ``repro.serve/v1`` planning request;
+* ``POST /v1/plan`` — one synchronous planning request (bounded wait);
+* ``POST /v1/jobs`` — the same request, answered immediately with a
+  job handle (202 + ``Location``);
+* ``GET  /v1/jobs/<id>`` — job state; ``?wait=<seconds>`` long-polls
+  until the job finishes or the wait elapses;
 * ``GET  /v1/health`` — liveness + headline counters;
 * ``GET  /v1/metrics`` — full service stats snapshot.
 
-Every body (success and error) is JSON with a ``schema`` field; 429
-responses carry ``Retry-After``.
+Every body (success and error) is ``repro.serve/v1.1`` JSON; every
+error uses the one envelope ``{"error": {"code", "message",
+"detail"?}}``; 429 responses carry ``Retry-After``.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional
+from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.record import _json_default
 from repro.serve.schema import SERVE_SCHEMA, error_body
@@ -75,15 +81,9 @@ class PlanHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server contract)
-        """Handle ``POST /v1/plan``."""
-        if self.path != "/v1/plan":
-            self._send(
-                ServeResponse(
-                    404, error_body("not_found", f"no route {self.path!r}")
-                )
-            )
-            return
+    def _read_json(self) -> Optional[object]:
+        """The request body as parsed JSON, or None after sending the
+        matching 413/400 error response."""
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
@@ -98,22 +98,66 @@ class PlanHandler(BaseHTTPRequestHandler):
                     ),
                 )
             )
-            return
+            return None
         raw = self.rfile.read(length)
         try:
-            payload = json.loads(raw.decode("utf-8"))
+            return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as err:
             self._send(
                 ServeResponse(
-                    400, error_body("bad_request", f"invalid JSON: {err}")
+                    400, error_body("invalid_json", f"invalid JSON: {err}")
                 )
             )
+            return None
+
+    def _not_found(self) -> None:
+        self._send(
+            ServeResponse(
+                404, error_body("not_found", f"no route {self.path!r}")
+            )
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server contract)
+        """Handle ``POST /v1/plan`` and ``POST /v1/jobs``."""
+        route = urlsplit(self.path).path
+        if route not in ("/v1/plan", "/v1/jobs"):
+            self._not_found()
             return
-        self._send(self.service.handle(payload))
+        payload = self._read_json()
+        if payload is None:
+            return
+        if route == "/v1/plan":
+            self._send(self.service.handle(payload))
+        else:
+            self._send(self.service.submit_job(payload))
 
     def do_GET(self) -> None:  # noqa: N802 (http.server contract)
-        """Handle ``GET /v1/health`` and ``GET /v1/metrics``."""
-        if self.path == "/v1/health":
+        """Handle ``GET /v1/jobs/<id>``, ``/v1/health``, ``/v1/metrics``."""
+        parts = urlsplit(self.path)
+        route = parts.path
+        if route.startswith("/v1/jobs/"):
+            job_id = route[len("/v1/jobs/"):]
+            if not job_id or "/" in job_id:
+                self._not_found()
+                return
+            query = parse_qs(parts.query)
+            try:
+                wait_s = float(query.get("wait", ["0"])[0])
+            except ValueError:
+                self._send(
+                    ServeResponse(
+                        400,
+                        error_body(
+                            "bad_request",
+                            "wait must be a number of seconds",
+                            field="wait",
+                        ),
+                    )
+                )
+                return
+            self._send(self.service.get_job(job_id, wait_s=wait_s))
+            return
+        if route == "/v1/health":
             stats = self.service.metrics_snapshot()
             self._send(
                 ServeResponse(
@@ -126,16 +170,12 @@ class PlanHandler(BaseHTTPRequestHandler):
                     },
                 )
             )
-        elif self.path == "/v1/metrics":
+        elif route == "/v1/metrics":
             body: Dict[str, object] = {"schema": SERVE_SCHEMA}
             body.update(self.service.metrics_snapshot())
             self._send(ServeResponse(200, body))
         else:
-            self._send(
-                ServeResponse(
-                    404, error_body("not_found", f"no route {self.path!r}")
-                )
-            )
+            self._not_found()
 
 
 def make_server(

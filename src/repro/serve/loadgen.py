@@ -68,6 +68,17 @@ class LoadConfig:
     #: Serial cache-hit probes after the timed window (isolates the
     #: hit path's service time from the window's queueing delay).
     probes: int = 16
+    #: Warm-phase concurrency.  1 = solve the mix serially (per-solve
+    #: cold latency); N > 1 fires the whole mix N-at-a-time and reports
+    #: ``cold_throughput_rps`` — the number that scales with
+    #: ``--solver-processes``.
+    cold_concurrency: int = 1
+    #: "plan" = POST /v1/plan; "jobs" = POST /v1/jobs + long-poll.
+    api: str = "plan"
+
+
+#: Cache outcomes that count as hits (LRU or persistent store).
+HIT_OUTCOMES = ("hit", "disk")
 
 
 @dataclass
@@ -77,6 +88,8 @@ class Sample:
     status: int
     latency_s: float
     cache: Optional[str] = None
+    #: Stable error code from the unified envelope (non-200 only).
+    error_code: Optional[str] = None
 
 
 @dataclass
@@ -89,11 +102,22 @@ class LoadReport:
     cold_latencies: List[float] = field(default_factory=list)
     #: Serial post-window cache-hit latencies (no queueing delay).
     probe_latencies: List[float] = field(default_factory=list)
+    #: Wall-clock of the (possibly concurrent) warm phase.
+    cold_burst_s: float = 0.0
 
     @property
     def errors(self) -> int:
         """Samples that did not return HTTP 200."""
         return sum(1 for s in self.samples if s.status != 200)
+
+    def error_codes(self) -> Dict[str, int]:
+        """Non-200 sample counts keyed by unified-envelope code."""
+        counts: Dict[str, int] = {}
+        for s in self.samples:
+            if s.status != 200:
+                code = s.error_code or "transport"
+                counts[code] = counts.get(code, 0) + 1
+        return counts
 
     def latencies(self, cache: Optional[str] = None) -> List[float]:
         """Latencies of OK samples (optionally one cache outcome)."""
@@ -106,7 +130,11 @@ class LoadReport:
     def data(self) -> Dict[str, float]:
         """Warehouse-ready scalars (``derived.bench`` of the record)."""
         ok = self.latencies()
-        hits = self.latencies("hit")
+        hits = [
+            s.latency_s
+            for s in self.samples
+            if s.status == 200 and s.cache in HIT_OUTCOMES
+        ]
         out = {
             "requests": float(len(self.samples)),
             "errors": float(self.errors),
@@ -118,8 +146,14 @@ class LoadReport:
             "latency_p95_s": percentile(ok, 95),
             "latency_max_s": max(ok) if ok else float("nan"),
         }
+        if ok:
+            out["hit_ratio"] = len(hits) / len(ok)
         if hits:
             out["hit_latency_p50_s"] = percentile(hits, 50)
+        if self.cold_latencies and self.cold_burst_s > 0:
+            out["cold_throughput_rps"] = (
+                len(self.cold_latencies) / self.cold_burst_s
+            )
         if self.cold_latencies:
             out["cold_latency_p50_s"] = percentile(self.cold_latencies, 50)
         if self.probe_latencies:
@@ -140,14 +174,27 @@ class LoadReport:
         d = self.data()
         lines = [
             f"loadgen: {self.config.mode}-loop, "
-            f"{self.config.clients} clients, "
+            f"{self.config.clients} clients, {self.config.api} API, "
             f"{len(self.samples)} requests in {self.duration_s:.2f}s",
             f"  throughput: {d['throughput_rps']:.1f} req/s, "
+            f"hit ratio: {d.get('hit_ratio', float('nan')):.2f}, "
             f"errors: {self.errors}",
             f"  latency p50/p95/max: {d['latency_p50_s'] * 1e3:.2f} / "
             f"{d['latency_p95_s'] * 1e3:.2f} / "
             f"{d['latency_max_s'] * 1e3:.2f} ms",
         ]
+        if self.errors:
+            codes = ", ".join(
+                f"{code}={n}" for code, n in sorted(self.error_codes().items())
+            )
+            lines.append(f"  error codes: {codes}")
+        if "cold_throughput_rps" in d:
+            lines.append(
+                f"  cold burst: {len(self.cold_latencies)} solves in "
+                f"{self.cold_burst_s:.2f}s "
+                f"({d['cold_throughput_rps']:.2f} solves/s at "
+                f"concurrency {self.config.cold_concurrency})"
+            )
         if "cold_latency_p50_s" in d and "hit_probe_p50_s" in d:
             lines.append(
                 f"  cold solve p50 {d['cold_latency_p50_s'] * 1e3:.1f} ms "
@@ -188,40 +235,130 @@ def build_requests(config: LoadConfig) -> List[Dict]:
     ]
 
 
+def _error_code(raw: bytes) -> Optional[str]:
+    """The stable ``error.code`` of an error body (None if unparsable)."""
+    try:
+        body = json.loads(raw.decode("utf-8"))
+        code = body.get("error", {}).get("code")
+        return code if isinstance(code, str) else None
+    except (UnicodeDecodeError, json.JSONDecodeError, AttributeError):
+        return None
+
+
+def _request_json(
+    url: str, data: Optional[bytes], timeout_s: float, method: str
+) -> Tuple[int, Optional[Dict], Optional[str]]:
+    """(status, body, error_code) for one HTTP exchange; never raises."""
+    req = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8")), None
+    except urllib.error.HTTPError as err:
+        return err.code, None, _error_code(err.read())
+    except (urllib.error.URLError, OSError, ValueError):
+        return -1, None, None
+
+
 def post_plan(
     url: str, payload: Dict, timeout_s: float = 60.0
 ) -> Sample:
     """POST one planning request; never raises (errors become samples)."""
     body = json.dumps(payload).encode("utf-8")
-    req = urllib.request.Request(
-        url.rstrip("/") + "/v1/plan",
-        data=body,
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
     t0 = time.perf_counter()
-    try:
-        with urllib.request.urlopen(req, timeout=timeout_s) as resp:
-            data = json.loads(resp.read().decode("utf-8"))
+    status, data, code = _request_json(
+        url.rstrip("/") + "/v1/plan", body, timeout_s, "POST"
+    )
+    return Sample(
+        status,
+        time.perf_counter() - t0,
+        data.get("cache") if data else None,
+        error_code=code,
+    )
+
+
+def post_job(url: str, payload: Dict, timeout_s: float = 60.0) -> Sample:
+    """Solve one request via the jobs API: submit, then long-poll.
+
+    The sample's latency spans submit through terminal state — the
+    apples-to-apples number against :func:`post_plan` — and a job that
+    ends ``failed``/``expired`` becomes a 500/504-shaped error sample
+    with the job's error code.
+    """
+    base = url.rstrip("/")
+    body = json.dumps(payload).encode("utf-8")
+    t0 = time.perf_counter()
+    status, data, code = _request_json(
+        base + "/v1/jobs", body, timeout_s, "POST"
+    )
+    if status != 202 or data is None:
+        return Sample(status, time.perf_counter() - t0, error_code=code)
+    job = data.get("job", {})
+    job_id = job.get("id")
+    deadline = t0 + timeout_s
+    while job.get("status") not in ("done", "failed", "expired"):
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
             return Sample(
-                resp.status, time.perf_counter() - t0, data.get("cache")
+                504, time.perf_counter() - t0, error_code="timeout"
             )
-    except urllib.error.HTTPError as err:
-        err.read()
-        return Sample(err.code, time.perf_counter() - t0)
-    except (urllib.error.URLError, OSError, ValueError):
-        return Sample(-1, time.perf_counter() - t0)
+        wait = max(0.05, min(remaining, 30.0))
+        status, data, code = _request_json(
+            f"{base}/v1/jobs/{job_id}?wait={wait:.3f}", None,
+            timeout_s, "GET",
+        )
+        if status != 200 or data is None:
+            return Sample(status, time.perf_counter() - t0, error_code=code)
+        job = data.get("job", {})
+    elapsed = time.perf_counter() - t0
+    if job.get("status") == "done":
+        return Sample(200, elapsed, data.get("cache"))
+    job_error = job.get("error") or {}
+    code = job_error.get("code") or "internal"
+    return Sample(504 if code == "timeout" else 500, elapsed, error_code=code)
 
 
 def run_load(config: LoadConfig) -> LoadReport:
     """Execute one load run and aggregate the outcome."""
     variants = build_requests(config)
+    fire_one = post_job if config.api == "jobs" else post_plan
     cold: List[float] = []
-    if config.warm:
-        for payload in variants:
-            sample = post_plan(config.url, payload, config.timeout_s)
-            if sample.status == 200 and sample.cache == "miss":
+    cold_lock = threading.Lock()
+    cold_burst_s = 0.0
+
+    def _warm_one(payload: Dict) -> None:
+        sample = fire_one(config.url, payload, config.timeout_s)
+        if sample.status == 200 and sample.cache == "miss":
+            with cold_lock:
                 cold.append(sample.latency_s)
+
+    if config.warm:
+        burst_t0 = time.perf_counter()
+        if config.cold_concurrency > 1:
+            # fire the whole mix N-at-a-time: wall clock over the burst
+            # is the cold *throughput* the solver pool determines
+            pending = list(variants)
+            while pending:
+                batch = pending[: config.cold_concurrency]
+                pending = pending[config.cold_concurrency:]
+                threads = [
+                    threading.Thread(
+                        target=_warm_one, args=(p,), daemon=True
+                    )
+                    for p in batch
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        else:
+            for payload in variants:
+                _warm_one(payload)
+        cold_burst_s = time.perf_counter() - burst_t0
 
     samples: List[Sample] = []
     lock = threading.Lock()
@@ -236,7 +373,7 @@ def run_load(config: LoadConfig) -> LoadReport:
             return i
 
     def _fire(i: int) -> None:
-        sample = post_plan(
+        sample = fire_one(
             config.url, variants[i % len(variants)], config.timeout_s
         )
         with lock:
@@ -278,10 +415,10 @@ def run_load(config: LoadConfig) -> LoadReport:
 
     probes: List[float] = []
     for i in range(config.probes if config.warm else 0):
-        sample = post_plan(
+        sample = fire_one(
             config.url, variants[i % len(variants)], config.timeout_s
         )
-        if sample.status == 200 and sample.cache == "hit":
+        if sample.status == 200 and sample.cache in HIT_OUTCOMES:
             probes.append(sample.latency_s)
     return LoadReport(
         config=config,
@@ -289,6 +426,7 @@ def run_load(config: LoadConfig) -> LoadReport:
         samples=samples,
         cold_latencies=cold,
         probe_latencies=probes,
+        cold_burst_s=cold_burst_s,
     )
 
 
@@ -302,12 +440,14 @@ def report_record(
         config={
             "benchmark": "serve_loadgen",
             "mode": cfg.mode,
+            "api": cfg.api,
             "clients": cfg.clients,
             "requests": cfg.requests,
             "mix": cfg.mix,
             "machine": cfg.machine,
             "num_gpus": cfg.num_gpus,
             "num_ssds": cfg.num_ssds,
+            "cold_concurrency": cfg.cold_concurrency,
         },
         derived={"bench": report.data()},
         meta=obs.run_metadata(seed=seed, repetition=repetition),
@@ -326,6 +466,8 @@ def _spawn_server(args) -> Tuple[str, object]:
             workers=args.workers,
             queue_size=args.queue_size,
             cache_size=args.cache_size,
+            solver_processes=args.solver_processes,
+            cache_path=args.cache_path,
         )
     ).start()
     server = make_server(service, port=0)
@@ -335,7 +477,7 @@ def _spawn_server(args) -> Tuple[str, object]:
     def _stop() -> None:
         server.shutdown()
         server.server_close()
-        service._stop()
+        service.stop()
 
     return server_url(server), _stop
 
@@ -385,6 +527,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--cache-size", type=int, default=64, help="--spawn: cache entries"
     )
+    parser.add_argument(
+        "--solver-processes",
+        type=int,
+        default=0,
+        help="--spawn: solver process pool size (0 = in-thread)",
+    )
+    parser.add_argument(
+        "--cache-path", help="--spawn: persistent plan-store path"
+    )
+    parser.add_argument(
+        "--api",
+        choices=("plan", "jobs"),
+        default="plan",
+        help="drive POST /v1/plan (sync) or the jobs API (submit+poll)",
+    )
+    parser.add_argument(
+        "--cold-concurrency",
+        type=int,
+        default=1,
+        help="fire the warm-phase mix N-at-a-time and report "
+        "bench:cold_throughput_rps",
+    )
     args = parser.parse_args(argv)
 
     stop = None
@@ -412,6 +576,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 num_ssds=args.ssds,
                 sample_batches=args.sample_batches,
                 vertices=args.vertices,
+                cold_concurrency=args.cold_concurrency,
+                api=args.api,
             )
             report = run_load(config)
             failures += report.errors
@@ -423,7 +589,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
     finally:
         if stop is not None:
-            _stop()
+            stop()
     if args.check and failures:
         print(f"FAIL: {failures} non-200 responses", file=sys.stderr)
         return 1

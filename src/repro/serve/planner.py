@@ -19,8 +19,9 @@ the canonical JSON of an inline fabric, datasets on their
 from __future__ import annotations
 
 import json
+import os
 import threading
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.serve.cache import PlanCache
 from repro.serve.schema import (
@@ -134,6 +135,41 @@ def _plan_payload(plan) -> Optional[Dict]:
             "cache_hits": int(s.cache_hits),
         }
     return payload
+
+
+def run_planner(
+    planner: Callable[[PlanRequest, object], Dict], request: PlanRequest
+) -> Dict:
+    """Process-pool entry point: resolve the machine in *this* process
+    and run ``planner``.
+
+    Submitted by :class:`~repro.serve.service.PlanService` when solver
+    processes are configured — the request travels by pickle (it is a
+    frozen dataclass of plain values), the machine is re-resolved
+    against the child's own memoized caches (cheaper than pickling a
+    compiled chassis per solve), and the payload comes back tagged with
+    the solver PID so callers can verify which process solved.
+    """
+    machine = resolve_machine(request)
+    payload = planner(request, machine)
+    if isinstance(payload, dict):
+        payload.setdefault("solver", {})["pid"] = os.getpid()
+    return payload
+
+
+def warm_process() -> int:
+    """Pre-import the heavy solve dependencies in a pool worker.
+
+    Submitted once per solver process at service start so the first
+    real solve does not pay the numpy/scipy/engine import bill; returns
+    the worker's PID (the caller counts distinct PIDs).
+    """
+    import numpy  # noqa: F401
+
+    from repro.api import run  # noqa: F401
+    from repro.runtime.system import MomentSystem  # noqa: F401
+
+    return os.getpid()
 
 
 def solve(request: PlanRequest, machine=None) -> Dict:

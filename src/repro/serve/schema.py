@@ -1,4 +1,4 @@
-"""The ``repro.serve/v1`` request schema: parsing and cache keys.
+"""The ``repro.serve/v1.1`` request schema: parsing, errors, cache keys.
 
 A planning request is ``RunSpec``-shaped JSON — the same fields a
 :class:`repro.RunSpec` takes, minus the in-memory objects (datasets
@@ -7,7 +7,9 @@ arrive as profiles to build, hardware as a registry name or an inline
 payload into a frozen :class:`PlanRequest` (raising
 :class:`RequestError` with the offending field for the HTTP 400 body),
 and :func:`cache_key` folds a request + its resolved machine into the
-normalized tuple the plan cache and single-flight table key on.
+normalized tuple the plan cache, single-flight table, and persistent
+store key on.  :func:`encode_key` / :func:`decode_key` round-trip that
+tuple through JSON for the on-disk store.
 
 Normalization rules (documented in DESIGN.md §5f): hardware is keyed by
 :func:`~repro.hardware.fabric.chassis_fingerprint` — not by name — so
@@ -16,18 +18,45 @@ same chassis all share cache entries; dataset profiles key on their
 full build recipe (every knob that changes the built graph); floats are
 canonicalised through ``float()``; defaulted and explicitly-passed
 default values key identically.
+
+Error envelope (``repro.serve/v1.1``): every non-200 body from every
+endpoint is ``{"schema": ..., "error": {"code", "message",
+"detail"?}}`` — ``code`` is one of the stable strings in
+:data:`ERROR_CODES` (what clients branch on), ``message`` is
+human-readable (never stable), and ``detail`` is a small object
+pointing at the culprit (``{"field": "dataset.key"}``,
+``{"job_id": ...}``...).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-SERVE_SCHEMA = "repro.serve/v1"
+SERVE_SCHEMA = "repro.serve/v1.1"
+
+#: Request schemas this server still accepts (v1 requests are a strict
+#: subset of v1.1: the jobs endpoints and the error envelope changed,
+#: the planning-request fields did not).
+COMPAT_SCHEMAS = ("repro.serve/v1", SERVE_SCHEMA)
 
 #: Dataset key for the synthetic smoke-test graph
 #: (:func:`repro.graphs.datasets.tiny_dataset`).
 TINY_KEY = "TINY"
+
+#: The stable machine-readable error codes, by HTTP status.  Clients
+#: (and this repo's tests + load generator) branch on ``error.code``;
+#: ``error.message`` wording is free to change.
+ERROR_CODES: Dict[str, int] = {
+    "bad_request": 400,  # ill-typed/unknown field — detail.field names it
+    "invalid_json": 400,  # body not parseable as JSON
+    "not_found": 404,  # unknown route — detail.path
+    "job_not_found": 404,  # unknown/reaped job id — detail.job_id
+    "too_large": 413,  # body over the byte cap — detail.limit_bytes
+    "queue_full": 429,  # solve queue full — Retry-After header set
+    "internal": 500,  # the planner raised
+    "timeout": 504,  # deadline expired — detail.job_id keeps the handle
+}
 
 
 class RequestError(ValueError):
@@ -45,17 +74,43 @@ class RequestError(ValueError):
 
     def to_body(self) -> Dict[str, object]:
         """The structured JSON error body for this rejection."""
-        return error_body("bad_request", self.message, field=self.field)
+        detail = {"field": self.field} if self.field is not None else {}
+        return error_body("bad_request", self.message, **detail)
 
 
-def error_body(
-    kind: str, message: str, field: Optional[str] = None
-) -> Dict[str, object]:
-    """One ``repro.serve/v1`` error payload (every non-200 body)."""
-    err: Dict[str, object] = {"type": kind, "message": message}
-    if field is not None:
-        err["field"] = field
+def error_body(code: str, message: str, **detail: object) -> Dict[str, object]:
+    """One ``repro.serve/v1.1`` error payload (every non-200 body).
+
+    ``code`` must be one of :data:`ERROR_CODES`; ``detail`` keys point
+    at the culprit (``field=...``, ``job_id=...``) and are omitted when
+    empty.
+    """
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    err: Dict[str, object] = {"code": code, "message": message}
+    detail = {k: v for k, v in detail.items() if v is not None}
+    if detail:
+        err["detail"] = detail
     return {"schema": SERVE_SCHEMA, "error": err}
+
+
+def encode_key(key: Tuple) -> List:
+    """JSON-ready form of a :func:`cache_key` tuple (tuples → lists).
+
+    Key tuples hold only ints, floats, bools, strings, None, and nested
+    tuples of the same, all of which survive a JSON round-trip exactly;
+    :func:`decode_key` restores the original tuple shape.
+    """
+    return [encode_key(v) if isinstance(v, tuple) else v for v in key]
+
+
+def decode_key(payload: object) -> Tuple:
+    """The cache-key tuple a JSON array (from :func:`encode_key`) names."""
+    if not isinstance(payload, list):
+        raise ValueError(f"encoded cache key must be a list, got {payload!r}")
+    return tuple(
+        decode_key(v) if isinstance(v, list) else v for v in payload
+    )
 
 
 @dataclass(frozen=True)
@@ -270,9 +325,10 @@ def parse_request(payload) -> PlanRequest:
             f"(known: {', '.join(sorted(_TOP_FIELDS))})"
         )
     schema = payload.get("schema")
-    if schema is not None and schema != SERVE_SCHEMA:
+    if schema is not None and schema not in COMPAT_SCHEMAS:
         raise RequestError(
-            f"schema is {schema!r}, this server speaks {SERVE_SCHEMA!r}",
+            f"schema is {schema!r}, this server speaks "
+            f"{' / '.join(COMPAT_SCHEMAS)}",
             field="schema",
         )
     if "dataset" not in payload:

@@ -1,23 +1,46 @@
-"""The plan service: bounded queue → worker pool → LRU plan cache.
+"""The plan service: one job table → solver pool → layered plan cache.
 
 :class:`PlanService` is the transport-independent core of
 ``repro.serve`` — the HTTP layer, the tests, and the load generator's
-in-process mode all call :meth:`PlanService.handle` with a parsed JSON
-payload and get back a :class:`ServeResponse` (status, body, headers).
+in-process mode all call :meth:`PlanService.handle` /
+:meth:`PlanService.submit_job` / :meth:`PlanService.get_job` with
+parsed JSON payloads and get back :class:`ServeResponse` objects
+(status, body, headers).
 
-Request lifecycle (DESIGN.md §5f):
+Everything is one job lifecycle (DESIGN.md §5f): a solve is a
+:class:`PlanJob` that moves ``queued → running → done | failed |
+expired``.  ``POST /v1/jobs`` hands back the job id immediately and
+``GET /v1/jobs/<id>`` (optionally long-polling) reads its state;
+``POST /v1/plan`` is a *bounded-wait view over the same table* — it
+submits (or joins) a job, waits until the request deadline, and on
+expiry returns 504 **with the job id in the error detail** so the
+client can switch to polling without losing the solve.
+
+Request lifecycle:
 
 1. parse + resolve hardware (failures → 400 with a structured body);
-2. optimistic cache probe — hits return immediately, no queue;
-3. under the single-flight lock: join an identical in-flight solve as
-   a *follower*, or enqueue a new job (queue full → 429 with a
-   ``Retry-After`` estimate from the EWMA solve time);
-4. wait on the job with the request's deadline (expiry → 504; the
-   solve itself is not killed — a finished late solve still seeds the
-   cache);
-5. workers drop jobs whose deadline passed while queued (graceful
-   cancellation: nobody is waiting beyond the deadline, so the LP is
-   never started).
+2. optimistic cache probe — LRU hits return immediately; LRU misses
+   probe the persistent store (``cache: "disk"``) when one is
+   configured, promoting disk hits into the LRU;
+3. under the single-flight lock: join an identical in-flight job as a
+   *follower* (the job's deadline extends to cover the new waiter), or
+   enqueue a new job (queue full → 429 with a ``Retry-After`` estimate
+   from the EWMA solve time and the *solver* parallelism);
+4. waiters block on the job event with their own deadlines (expiry →
+   504; the solve itself is never killed — a finished late solve still
+   seeds both cache layers and resolves the job for pollers);
+5. workers drop jobs whose deadline passed while queued (state
+   ``expired``: every waiter's deadline passed, so the LP is never
+   started).
+
+Solves run either on the worker threads themselves (default — fine for
+warm traffic and IO-ish planners) or, with
+:attr:`ServeConfig.solver_processes` > 0, on a shared
+:class:`~concurrent.futures.ProcessPoolExecutor`: the solve path is
+GIL-heavy NumPy/LP, so N *cold* solves only run on N cores when they
+run in N processes.  The request travels by pickle, the machine is
+re-resolved in the child (memoized per process), and payloads are
+bit-identical to in-thread solves.
 
 All ``serve.*`` telemetry and the local stats mirror are updated under
 one lock, so the counters stay exact no matter how many request
@@ -26,10 +49,15 @@ threads race (the obs registry itself is not thread-safe).
 
 from __future__ import annotations
 
+import itertools
 import math
+import os
 import queue
 import threading
 import time
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
@@ -44,14 +72,17 @@ from repro.serve.schema import (
     error_body,
     parse_request,
 )
+from repro.serve.store import PlanStore
 
 
 @dataclass
 class ServeConfig:
     """Operational knobs of one :class:`PlanService`."""
 
-    #: Solver threads (each solve may additionally fan onto the search
-    #: engine's process pool — see ``search_workers``).
+    #: Dispatch threads.  Each either solves in-thread (default) or
+    #: shepherds a solve on the process pool; when ``solver_processes``
+    #: exceeds this, enough extra threads are spawned to keep the pool
+    #: fed.
     workers: int = 2
     #: Bounded request queue; ``put`` beyond this returns 429.
     queue_size: int = 16
@@ -59,8 +90,23 @@ class ServeConfig:
     cache_size: int = 64
     #: Applied when a request carries no ``timeout_s``.
     default_timeout_s: float = 30.0
-    #: Hard ceiling on any request's effective timeout.
+    #: Hard ceiling on any request's effective timeout; also the solve
+    #: deadline granted to async jobs (``POST /v1/jobs``).
     max_timeout_s: float = 300.0
+    #: Solver processes.  0 = solve on the worker threads; N >= 1
+    #: routes every solve through a shared N-process pool.
+    solver_processes: int = 0
+    #: Persistent plan store path (None = memory-only LRU).
+    cache_path: Optional[str] = None
+    #: Live-entry bound of the persistent store.
+    store_max_entries: int = 4096
+    #: Terminal jobs stay pollable this long after finishing.
+    job_ttl_s: float = 300.0
+    #: Job-table bound (terminal jobs are evicted oldest-first beyond
+    #: it; live jobs are already bounded by the queue).
+    max_jobs: int = 4096
+    #: Ceiling on one ``GET /v1/jobs/<id>?wait=`` long-poll.
+    long_poll_max_s: float = 60.0
 
 
 @dataclass
@@ -72,45 +118,95 @@ class ServeResponse:
     headers: Dict[str, str] = field(default_factory=dict)
 
 
-class _Job:
-    """One queued solve shared by its leader and any followers."""
+class JobState:
+    """The job lifecycle states (``queued → running → terminal``)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    #: Deadline passed while queued: nobody was left waiting, the solve
+    #: never started.
+    EXPIRED = "expired"
+
+    TERMINAL = frozenset({DONE, FAILED, EXPIRED})
+
+
+class PlanJob:
+    """One solve shared by its leader, any followers, and any pollers."""
 
     __slots__ = (
+        "id",
         "key",
         "request",
         "machine",
+        "state",
         "deadline",
         "done",
         "payload",
         "error",
+        "created_unix_s",
+        "finished_unix_s",
         "enqueued_at",
         "solve_s",
         "queued_s",
+        "cache_outcome",
     )
 
-    def __init__(self, key, request, machine, deadline: float) -> None:
+    def __init__(self, job_id, key, request, machine, deadline: float) -> None:
+        self.id = job_id
         self.key = key
         self.request = request
         self.machine = machine
+        self.state = JobState.QUEUED
+        #: perf_counter deadline; extended when later waiters join.
         self.deadline = deadline
         self.done = threading.Event()
         self.payload: Optional[Dict] = None
-        #: (kind, message) — kind "timeout" maps to 504, else 500.
+        #: (code, message) — the unified error-envelope pair.
         self.error: Optional[Tuple[str, str]] = None
+        self.created_unix_s = time.time()
+        self.finished_unix_s: Optional[float] = None
         self.enqueued_at = time.perf_counter()
         self.solve_s: Optional[float] = None
         self.queued_s: Optional[float] = None
+        #: How the payload was produced: "miss" (solved), "hit"/"disk".
+        self.cache_outcome = "miss"
+
+    def view(self) -> Dict[str, object]:
+        """The JSON-ready ``job`` object every jobs response carries."""
+        view: Dict[str, object] = {
+            "id": self.id,
+            "status": self.state,
+            "created_unix_s": self.created_unix_s,
+        }
+        if self.finished_unix_s is not None:
+            view["finished_unix_s"] = self.finished_unix_s
+        if self.queued_s is not None:
+            view["queued_s"] = self.queued_s
+        if self.solve_s is not None:
+            view["solve_s"] = self.solve_s
+        if self.error is not None:
+            code, message = self.error
+            view["error"] = {"code": code, "message": message}
+        return view
+
+
+class _QueueFull(Exception):
+    """Internal: the bounded solve queue rejected a submission."""
 
 
 _STOP = object()
 
 
 class PlanService:
-    """Thread-safe planning core: queue, workers, cache, single-flight.
+    """Thread-safe planning core: job table, solver pool, cache layers.
 
     ``planner`` is injectable — ``(PlanRequest, MachineSpec) -> payload
     dict`` — so tests can substitute deterministic or deliberately slow
-    solvers; the default is :func:`repro.serve.planner.solve`.
+    solvers; the default is :func:`repro.serve.planner.solve`.  With
+    ``solver_processes`` > 0 the planner must be picklable (module
+    level); the default is.
     """
 
     def __init__(
@@ -121,12 +217,17 @@ class PlanService:
         self.config = config or ServeConfig()
         self.planner = planner or default_planner_module.solve
         self.cache = PlanCache(self.config.cache_size)
+        self.store: Optional[PlanStore] = None
         self._queue: "queue.Queue" = queue.Queue(
             maxsize=self.config.queue_size
         )
-        self._inflight: Dict[Tuple, _Job] = {}
+        self._inflight: Dict[Tuple, PlanJob] = {}
+        self._jobs: "Dict[str, PlanJob]" = {}
+        self._job_seq = itertools.count()
         self._flight_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
         self._threads = []
         self._started = False
         self._ewma_solve_s: Optional[float] = None
@@ -134,6 +235,7 @@ class PlanService:
             "requests": 0,
             "ok": 0,
             "cache_hits": 0,
+            "disk_hits": 0,
             "cache_misses": 0,
             "single_flight": 0,
             "bad_requests": 0,
@@ -141,21 +243,80 @@ class PlanService:
             "timeouts": 0,
             "cancelled": 0,
             "errors": 0,
+            "jobs_submitted": 0,
+            "jobs_completed": 0,
+            "jobs_failed": 0,
+            "jobs_expired": 0,
+            "invalidated": 0,
+            "persisted": 0,
         }
 
     # -- lifecycle -------------------------------------------------------
+    @property
+    def solver_parallelism(self) -> int:
+        """How many solves can truly run at once (processes beat
+        threads: the solve path is GIL-bound)."""
+        if self.config.solver_processes > 0:
+            return self.config.solver_processes
+        return max(1, self.config.workers)
+
+    def _thread_count(self) -> int:
+        return max(self.config.workers, self.config.solver_processes)
+
     def start(self) -> "PlanService":
-        """Spawn the worker pool (idempotent)."""
+        """Open the store, spawn the solver pool + threads (idempotent)."""
         if self._started:
             return self
         self._started = True
-        for i in range(self.config.workers):
+        if self.config.cache_path:
+            self._open_store()
+        if self.config.solver_processes > 0:
+            self._start_pool()
+        for i in range(self._thread_count()):
             t = threading.Thread(
                 target=self._worker, name=f"serve-worker-{i}", daemon=True
             )
             t.start()
             self._threads.append(t)
         return self
+
+    def _open_store(self) -> None:
+        self.store = PlanStore(
+            self.config.cache_path,
+            max_entries=self.config.store_max_entries,
+        )
+        dropped = self.store.sync_registry(_registry_fingerprint)
+        report = self.store.load_report
+        with self._stats_lock:
+            self.stats["invalidated"] += dropped
+            obs.add("serve.cache.invalidated", dropped)
+            obs.add("serve.store.quarantined", report.quarantined)
+            obs.set_gauge("serve.store.entries", len(self.store))
+        # warm the LRU with the most recent survivors (oldest first so
+        # LRU recency matches write recency)
+        for entry in self.store.recent_entries(self.config.cache_size):
+            self.cache.put(entry.key, entry.payload)
+
+    def _start_pool(self) -> None:
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.config.solver_processes
+        )
+        with self._stats_lock:
+            obs.set_gauge(
+                "serve.solver.processes", self.config.solver_processes
+            )
+        # eagerly fan the workers out and pre-import the solve stack:
+        # each warm task blocks its worker on imports, so pending tasks
+        # force the executor to spawn the rest of the pool
+        warmups = [
+            self._pool.submit(default_planner_module.warm_process)
+            for _ in range(2 * self.config.solver_processes)
+        ]
+        for future in warmups:
+            try:
+                future.result(timeout=60)
+            except Exception:  # pragma: no cover - warmup is best-effort
+                break
 
     def stop(self, timeout: float = 5.0) -> None:
         """Stop the workers (queued jobs are failed, not solved)."""
@@ -175,7 +336,10 @@ class PlanService:
                 break
             if job is not _STOP:
                 job.error = ("internal", "service stopped")
-                job.done.set()
+                self._finish_job(job, JobState.FAILED)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     def __enter__(self) -> "PlanService":
         return self.start()
@@ -215,27 +379,178 @@ class PlanService:
         with self._stats_lock:
             out: Dict[str, object] = dict(self.stats)
             ewma = self._ewma_solve_s
+        with self._flight_lock:
+            jobs_live = sum(
+                1
+                for job in self._jobs.values()
+                if job.state not in JobState.TERMINAL
+            )
+            jobs_tracked = len(self._jobs)
         out.update(
             queue_depth=self._queue.qsize(),
             queue_capacity=self.config.queue_size,
             inflight=len(self._inflight),
             cache_entries=len(self.cache),
             cache_capacity=self.cache.capacity,
-            workers=self.config.workers,
+            store_entries=len(self.store) if self.store is not None else None,
+            workers=self._thread_count(),
+            solver_processes=self.config.solver_processes,
+            solver_parallelism=self.solver_parallelism,
+            jobs_live=jobs_live,
+            jobs_tracked=jobs_tracked,
             ewma_solve_s=ewma,
         )
         return out
 
     def retry_after_s(self) -> int:
-        """Whole-second backoff hint for a 429 (queue drain estimate)."""
+        """Whole-second backoff hint for a 429 (queue drain estimate).
+
+        Drain rate is ``solver_parallelism / EWMA(solve time)`` — with
+        a process pool the service drains ``solver_processes`` solves
+        at a time no matter how many dispatch threads exist, so the
+        hint divides by true solver parallelism, not thread count.
+        """
         with self._stats_lock:
             ewma = self._ewma_solve_s or 1.0
         depth = self._queue.qsize() + 1
-        return max(1, int(math.ceil(depth * ewma / self.config.workers)))
+        return max(1, int(math.ceil(depth * ewma / self.solver_parallelism)))
 
-    # -- request path ----------------------------------------------------
+    # -- cache layers ----------------------------------------------------
+    def _probe(self, key: Tuple) -> Tuple[Optional[Dict], Optional[str]]:
+        """(payload, outcome) from the LRU then the persistent store."""
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit, "hit"
+        if self.store is not None:
+            payload = self.store.get(key)
+            if payload is not None:
+                self.cache.put(key, payload)
+                return payload, "disk"
+        return None, None
+
+    def _respond_cached(
+        self, started: float, payload: Dict, outcome: str
+    ) -> ServeResponse:
+        stat = "cache_hits" if outcome == "hit" else "disk_hits"
+        metric = "serve.cache.hit" if outcome == "hit" else "serve.cache.disk_hit"
+        self._count(stat, metric)
+        self._count("ok")
+        self._finish(started, outcome, 200)
+        return ServeResponse(200, self._body(payload, outcome, started))
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every cached/persisted plan keyed on ``fingerprint``
+        (both layers); returns the number of entries removed."""
+        dropped = self.cache.drop_where(lambda key: key[0] == fingerprint)
+        if self.store is not None:
+            dropped += self.store.invalidate(
+                lambda entry: entry.fingerprint == fingerprint
+            )
+            with self._stats_lock:
+                obs.set_gauge("serve.store.entries", len(self.store))
+        if dropped:
+            with self._stats_lock:
+                self.stats["invalidated"] += dropped
+                obs.add("serve.cache.invalidated", dropped)
+        return dropped
+
+    # -- job table -------------------------------------------------------
+    def _new_job_id(self) -> str:
+        return f"j{next(self._job_seq):06d}-{uuid.uuid4().hex[:8]}"
+
+    def _reap_jobs_locked(self) -> None:
+        """Drop terminal jobs past their TTL (flight lock held)."""
+        now = time.time()
+        ttl = self.config.job_ttl_s
+        doomed = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.state in JobState.TERMINAL
+            and job.finished_unix_s is not None
+            and now - job.finished_unix_s > ttl
+        ]
+        for job_id in doomed:
+            del self._jobs[job_id]
+        overflow = len(self._jobs) - self.config.max_jobs
+        if overflow > 0:
+            terminal = [
+                job_id
+                for job_id, job in self._jobs.items()
+                if job.state in JobState.TERMINAL
+            ]
+            for job_id in terminal[:overflow]:
+                del self._jobs[job_id]
+
+    def _register_done_job(
+        self, key: Tuple, request, machine, payload: Dict, outcome: str
+    ) -> PlanJob:
+        """A pre-completed job for a cache hit (so ``POST /v1/jobs`` on
+        warmed keys still hands back a pollable handle)."""
+        job = PlanJob(
+            self._new_job_id(), key, request, machine, time.perf_counter()
+        )
+        job.payload = payload
+        job.state = JobState.DONE
+        job.cache_outcome = outcome
+        job.finished_unix_s = time.time()
+        job.queued_s = 0.0
+        job.done.set()
+        with self._flight_lock:
+            self._reap_jobs_locked()
+            self._jobs[job.id] = job
+        return job
+
+    def _submit(
+        self, key: Tuple, request, machine, deadline: float
+    ) -> Tuple[PlanJob, bool, Optional[Dict]]:
+        """Join or enqueue the job for ``key``.
+
+        Returns ``(job, follower, raced_payload)``; ``raced_payload``
+        is set when a worker cached the answer between the optimistic
+        probe and the flight lock.  Raises :class:`_QueueFull` when the
+        bounded queue rejects a fresh job.
+        """
+        with self._flight_lock:
+            self._reap_jobs_locked()
+            job = self._inflight.get(key)
+            if job is not None:
+                # follower: the job must outlive the latest waiter
+                job.deadline = max(job.deadline, deadline)
+                return job, True, None
+            hit = self.cache.get(key)
+            if hit is not None:
+                return None, False, hit  # type: ignore[return-value]
+            job = PlanJob(self._new_job_id(), key, request, machine, deadline)
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                raise _QueueFull() from None
+            self._inflight[key] = job
+            self._jobs[job.id] = job
+            return job, False, None
+
+    def _finish_job(self, job: PlanJob, state: str) -> None:
+        """Move a job to a terminal state and wake every waiter."""
+        job.state = state
+        job.finished_unix_s = time.time()
+        with self._flight_lock:
+            self._inflight.pop(job.key, None)
+        if state == JobState.DONE:
+            self._count("jobs_completed", "serve.jobs.completed")
+        elif state == JobState.EXPIRED:
+            self._count("jobs_expired", "serve.jobs.expired")
+        else:
+            self._count("jobs_failed", "serve.jobs.failed")
+        job.done.set()
+
+    # -- request path: POST /v1/plan -------------------------------------
     def handle(self, payload: object) -> ServeResponse:
-        """Serve one parsed-JSON planning request end to end."""
+        """Serve one synchronous planning request end to end.
+
+        Internally a bounded wait over the job table: cache probe →
+        submit/join a job → wait until the request deadline → map the
+        job's terminal state onto an HTTP response.
+        """
         started = time.perf_counter()
         self._count("requests", "serve.requests")
         try:
@@ -247,46 +562,21 @@ class PlanService:
             return ServeResponse(400, err.to_body())
         key = cache_key(request, machine)
 
-        hit = self.cache.get(key)
-        if hit is not None:
-            return self._respond_hit(started, hit, "hit")
+        cached, outcome = self._probe(key)
+        if cached is not None:
+            return self._respond_cached(started, cached, outcome)
 
         timeout = min(
             request.timeout_s or self.config.default_timeout_s,
             self.config.max_timeout_s,
         )
         deadline = started + timeout
-
-        with self._flight_lock:
-            job = self._inflight.get(key)
-            if job is not None:
-                follower = True
-            else:
-                # lost race: a worker may have cached between our probe
-                # and taking the lock — a fresh solve would be wasted
-                hit = self.cache.get(key)
-                if hit is not None:
-                    job = None
-                else:
-                    job = _Job(key, request, machine, deadline)
-                    try:
-                        self._queue.put_nowait(job)
-                    except queue.Full:
-                        self._count("rejected", "serve.rejected")
-                        self._finish(started, "rejected", 429)
-                        retry = self.retry_after_s()
-                        return ServeResponse(
-                            429,
-                            error_body(
-                                "queue_full",
-                                "request queue is full; retry later",
-                            ),
-                            headers={"Retry-After": str(retry)},
-                        )
-                    self._inflight[key] = job
-                    follower = False
-        if job is None:
-            return self._respond_hit(started, hit, "hit")
+        try:
+            job, follower, raced = self._submit(key, request, machine, deadline)
+        except _QueueFull:
+            return self._reject_full(started)
+        if raced is not None:
+            return self._respond_cached(started, raced, "hit")
         if follower:
             self._count("single_flight", "serve.cache.single_flight")
         self._set_queue_gauge()
@@ -295,22 +585,27 @@ class PlanService:
         finished = job.done.wait(timeout=max(0.0, remaining))
         if not finished:
             self._count("timeouts", "serve.timeouts")
-            self._finish(started, "timeout", 504)
+            self._finish(started, "timeout", 504, job_id=job.id)
             return ServeResponse(
                 504,
                 error_body(
                     "timeout",
-                    f"request did not complete within {timeout:.3f}s",
+                    f"request did not complete within {timeout:.3f}s; "
+                    f"the solve continues — poll GET /v1/jobs/{job.id}",
+                    job_id=job.id,
+                    timeout_s=timeout,
                 ),
             )
-        if job.error is not None:
-            kind, message = job.error
-            if kind == "timeout":
+        if job.state != JobState.DONE:
+            code, message = job.error or ("internal", "job failed")
+            if code == "timeout":
                 self._count("timeouts", "serve.timeouts")
-                self._finish(started, "timeout", 504)
-                return ServeResponse(504, error_body("timeout", message))
+                self._finish(started, "timeout", 504, job_id=job.id)
+                return ServeResponse(
+                    504, error_body("timeout", message, job_id=job.id)
+                )
             self._count("errors", "serve.errors")
-            self._finish(started, "error", 500)
+            self._finish(started, "error", 500, job_id=job.id)
             return ServeResponse(500, error_body("internal", message))
 
         outcome = "single_flight" if follower else "miss"
@@ -323,20 +618,92 @@ class PlanService:
             self._body(job.payload, outcome, started, job),
         )
 
-    def _respond_hit(
-        self, started: float, payload: Dict, outcome: str
-    ) -> ServeResponse:
-        self._count("cache_hits", "serve.cache.hit")
-        self._count("ok")
-        self._finish(started, outcome, 200)
-        return ServeResponse(200, self._body(payload, outcome, started))
+    def _reject_full(self, started: float) -> ServeResponse:
+        self._count("rejected", "serve.rejected")
+        self._finish(started, "rejected", 429)
+        retry = self.retry_after_s()
+        return ServeResponse(
+            429,
+            error_body("queue_full", "request queue is full; retry later"),
+            headers={"Retry-After": str(retry)},
+        )
 
+    # -- request path: the jobs API --------------------------------------
+    def submit_job(self, payload: object) -> ServeResponse:
+        """``POST /v1/jobs``: enqueue (or join) a solve, return its
+        handle immediately (202; the body carries the current state —
+        a warmed cache answers with an already-``done`` job)."""
+        started = time.perf_counter()
+        self._count("requests", "serve.requests")
+        self._count("jobs_submitted", "serve.jobs.submitted")
+        try:
+            request = parse_request(payload)
+            machine = default_planner_module.resolve_machine(request)
+        except RequestError as err:
+            self._count("bad_requests", "serve.bad_requests")
+            self._finish(started, "bad_request", 400)
+            return ServeResponse(400, err.to_body())
+        key = cache_key(request, machine)
+
+        cached, outcome = self._probe(key)
+        if cached is None:
+            deadline = started + self.config.max_timeout_s
+            try:
+                job, follower, cached = self._submit(
+                    key, request, machine, deadline
+                )
+            except _QueueFull:
+                return self._reject_full(started)
+            if cached is not None:
+                outcome = "hit"
+        if cached is not None:
+            job = self._register_done_job(
+                key, request, machine, cached, outcome
+            )
+            self._count(
+                "cache_hits" if outcome == "hit" else "disk_hits",
+                "serve.cache.hit" if outcome == "hit" else "serve.cache.disk_hit",
+            )
+        self._set_queue_gauge()
+        self._count("ok")
+        self._finish(started, "job_submit", 202, job_id=job.id)
+        return ServeResponse(
+            202, self._job_body(job, outcome), headers={"Location": f"/v1/jobs/{job.id}"}
+        )
+
+    def get_job(self, job_id: str, wait_s: float = 0.0) -> ServeResponse:
+        """``GET /v1/jobs/<id>``: the job's current state; ``wait_s`` >
+        0 long-polls on completion (capped at
+        :attr:`ServeConfig.long_poll_max_s`)."""
+        started = time.perf_counter()
+        with self._flight_lock:
+            self._reap_jobs_locked()
+            job = self._jobs.get(job_id)
+        if job is None:
+            self._finish(started, "job_not_found", 404)
+            return ServeResponse(
+                404,
+                error_body(
+                    "job_not_found",
+                    f"no job {job_id!r} (unknown id, or expired after "
+                    f"{self.config.job_ttl_s:.0f}s)",
+                    job_id=job_id,
+                ),
+            )
+        if wait_s > 0 and job.state not in JobState.TERMINAL:
+            with self._stats_lock:
+                obs.add("serve.jobs.long_polls", 1)
+            job.done.wait(timeout=min(wait_s, self.config.long_poll_max_s))
+        self._finish(started, f"job_{job.state}", 200, job_id=job.id)
+        return ServeResponse(200, self._job_body(job, None))
+
+    # -- response bodies -------------------------------------------------
     @staticmethod
     def _body(
         payload: Dict,
         outcome: str,
         started: float,
-        job: Optional[_Job] = None,
+        job: Optional[PlanJob] = None,
     ) -> Dict[str, object]:
         body = dict(payload)
         body["schema"] = SERVE_SCHEMA
@@ -347,8 +714,52 @@ class PlanService:
         if job is not None:
             timing["solve_s"] = job.solve_s
             timing["queued_s"] = job.queued_s
+            body["job"] = job.view()
         body["timing"] = timing
         return body
+
+    @staticmethod
+    def _job_body(job: PlanJob, outcome: Optional[str]) -> Dict[str, object]:
+        """One jobs-API body: the job view, plus the full plan payload
+        once the job is done."""
+        body: Dict[str, object]
+        if job.state == JobState.DONE and job.payload is not None:
+            body = dict(job.payload)
+            body["cache"] = outcome if outcome is not None else job.cache_outcome
+        else:
+            body = {}
+        body["schema"] = SERVE_SCHEMA
+        body["job"] = job.view()
+        return body
+
+    # -- solving ---------------------------------------------------------
+    def _solve_payload(self, job: PlanJob) -> Dict:
+        """Run the planner for one job, in-thread or on the pool."""
+        if self._pool is None:
+            payload = self.planner(job.request, job.machine)
+            if isinstance(payload, dict):
+                payload.setdefault("solver", {})["pid"] = os.getpid()
+            return payload
+        try:
+            future = self._pool.submit(
+                default_planner_module.run_planner, self.planner, job.request
+            )
+            return future.result()
+        except BrokenProcessPool:
+            # a solver process died (OOM-killed, segfault in a native
+            # lib): rebuild the pool once and retry this job
+            with self._pool_lock:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.solver_processes
+                )
+            with self._stats_lock:
+                obs.add("serve.solver.restarts", 1)
+            future = self._pool.submit(
+                default_planner_module.run_planner, self.planner, job.request
+            )
+            return future.result()
 
     # -- worker pool -----------------------------------------------------
     def _worker(self) -> None:
@@ -367,25 +778,46 @@ class PlanService:
                     "deadline expired before a worker was free",
                 )
                 self._count("cancelled", "serve.cancelled")
-            else:
-                t0 = now
-                try:
-                    payload = self.planner(job.request, job.machine)
-                    job.solve_s = time.perf_counter() - t0
-                    self.cache.put(job.key, payload)
-                    job.payload = payload
-                    with self._stats_lock:
-                        obs.observe("serve.solve_s", job.solve_s)
-                        prev = self._ewma_solve_s
-                        self._ewma_solve_s = (
-                            job.solve_s
-                            if prev is None
-                            else 0.7 * prev + 0.3 * job.solve_s
-                        )
-                except Exception as err:  # solver bugs must not kill workers
-                    job.error = (
-                        "internal", f"{type(err).__name__}: {err}"
+                self._finish_job(job, JobState.EXPIRED)
+                continue
+            job.state = JobState.RUNNING
+            t0 = now
+            try:
+                payload = self._solve_payload(job)
+                job.solve_s = time.perf_counter() - t0
+                mode = "process" if self._pool is not None else "thread"
+                self.cache.put(job.key, payload)
+                if self.store is not None:
+                    self.store.put(
+                        job.key, payload, machine=job.request.machine
                     )
-            with self._flight_lock:
-                self._inflight.pop(job.key, None)
-            job.done.set()
+                    self._count("persisted", "serve.cache.persisted")
+                job.payload = payload
+                with self._stats_lock:
+                    obs.add("serve.solver.solves", 1, mode=mode)
+                    obs.observe("serve.solve_s", job.solve_s)
+                    prev = self._ewma_solve_s
+                    self._ewma_solve_s = (
+                        job.solve_s
+                        if prev is None
+                        else 0.7 * prev + 0.3 * job.solve_s
+                    )
+                self._finish_job(job, JobState.DONE)
+            except Exception as err:  # solver bugs must not kill workers
+                job.error = (
+                    "internal", f"{type(err).__name__}: {err}"
+                )
+                self._finish_job(job, JobState.FAILED)
+
+
+def _registry_fingerprint(name: str) -> Optional[str]:
+    """The chassis fingerprint ``name`` currently compiles to, or None
+    when the fabric registry no longer resolves it (the store's
+    invalidation hook)."""
+    try:
+        from repro.hardware.fabric import chassis_fingerprint
+        from repro.hardware.registry import get_machine
+
+        return chassis_fingerprint(get_machine(name).chassis)
+    except Exception:
+        return None

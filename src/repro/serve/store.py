@@ -1,0 +1,292 @@
+"""Persistent plan store: an append-only JSONL segment (`repro.servecache/v1`).
+
+The LRU plan cache dies with the process; this store is the restart
+layer under it.  Every solved plan is appended as one self-contained
+JSON line (``op: "put"``) via the same single-``os.write`` ``O_APPEND``
+idiom :func:`repro.obs.append_jsonl` uses, so concurrent writers land
+whole lines and a crash can lose at most the trailing partial line.
+Invalidation appends a tombstone (``op: "drop"``) rather than rewriting
+the segment.
+
+On open the segment is replayed newest-wins:
+
+* a *truncated tail* (final line without the shape a crash mid-append
+  leaves) is tolerated and dropped silently;
+* any other undecodable or schema-violating line is **quarantined** —
+  appended verbatim to ``<path>.quarantine`` — and replay continues;
+  corruption is never fatal and never silently discarded;
+* when the replayed log holds more records than live entries (dead
+  puts, tombstones, quarantined lines), the segment is *compacted*:
+  rewritten as one put per live entry to a temp file and atomically
+  ``os.replace``-d into place.
+
+Entries remember the registry ``machine`` name that produced them (None
+for inline fabrics) alongside the chassis fingerprint they were keyed
+on, so :meth:`PlanStore.sync_registry` can drop entries whose name no
+longer resolves — or no longer resolves to the same chassis — in the
+fabric registry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.record import _json_default, append_jsonl
+from repro.serve.schema import decode_key, encode_key
+
+STORE_SCHEMA = "repro.servecache/v1"
+
+
+@dataclass
+class StoreEntry:
+    """One live plan in the store."""
+
+    key: Tuple
+    payload: Dict[str, object]
+    #: Chassis fingerprint the key was built from (= ``key[0]``).
+    fingerprint: str
+    #: Registry name the request used, or None for an inline fabric.
+    machine: Optional[str]
+    created_unix_s: float
+
+
+@dataclass
+class StoreLoadReport:
+    """What replaying one segment file found."""
+
+    records: int = 0
+    entries: int = 0
+    tombstones: int = 0
+    quarantined: int = 0
+    truncated_tail: bool = False
+    compacted: bool = False
+
+
+class PlanStore:
+    """Append-only, restart-safe mapping of cache keys to plan payloads.
+
+    Thread-safe; bounded by ``max_entries`` (oldest live entries are
+    evicted in memory on overflow — the segment keeps their records
+    until the next load-time compaction).
+    """
+
+    def __init__(self, path: str, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                f"store max_entries must be >= 1, got {max_entries}"
+            )
+        self.path = os.fspath(path)
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple, StoreEntry] = {}
+        self.load_report = self._load()
+
+    # -- replay ----------------------------------------------------------
+    def _load(self) -> StoreLoadReport:
+        report = StoreLoadReport()
+        if not os.path.exists(self.path):
+            return report
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        lines = raw.split(b"\n")
+        #: A crash mid-append leaves a final line without its newline;
+        #: that tail is expected loss, not corruption.
+        tail_is_partial = bool(lines and lines[-1])
+        body, tail = lines[:-1], lines[-1]
+        quarantine: List[bytes] = []
+        for line in body:
+            if not line.strip():
+                continue
+            report.records += 1
+            if not self._apply(line, report):
+                quarantine.append(line)
+        if tail_is_partial:
+            report.records += 1
+            if self._apply(tail, report):
+                # complete, valid JSON — the newline itself was lost
+                pass
+            else:
+                report.truncated_tail = True
+        if quarantine:
+            report.quarantined = len(quarantine)
+            with open(self.path + ".quarantine", "ab") as fh:
+                fh.write(b"\n".join(quarantine) + b"\n")
+        self._evict_overflow()
+        report.entries = len(self._entries)
+        dead = report.records - report.entries
+        if dead > 0 or report.quarantined:
+            self._compact()
+            report.compacted = True
+        return report
+
+    def _apply(self, line: bytes, report: StoreLoadReport) -> bool:
+        """Replay one record; False = not a valid record (quarantine)."""
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return False
+        if not isinstance(record, dict) or record.get("schema") != STORE_SCHEMA:
+            return False
+        op = record.get("op")
+        try:
+            key = decode_key(record["key"])
+        except (KeyError, ValueError):
+            return False
+        if op == "drop":
+            self._entries.pop(key, None)
+            report.tombstones += 1
+            return True
+        if op != "put":
+            return False
+        payload = record.get("payload")
+        fingerprint = record.get("fingerprint")
+        if not isinstance(payload, dict) or not isinstance(fingerprint, str):
+            return False
+        machine = record.get("machine")
+        if machine is not None and not isinstance(machine, str):
+            return False
+        entry = StoreEntry(
+            key=key,
+            payload=payload,
+            fingerprint=fingerprint,
+            machine=machine,
+            created_unix_s=float(record.get("created_unix_s") or 0.0),
+        )
+        # newest-wins, and re-put refreshes recency (dict order)
+        self._entries.pop(key, None)
+        self._entries[key] = entry
+        return True
+
+    def _evict_overflow(self) -> None:
+        while len(self._entries) > self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+
+    def _compact(self) -> None:
+        """Rewrite the segment as one put per live entry (atomic)."""
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp = tempfile.mkstemp(
+            prefix=".servecache-", suffix=".jsonl", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for entry in self._entries.values():
+                    fh.write(
+                        json.dumps(
+                            self._record(entry), default=_json_default
+                        )
+                        + "\n"
+                    )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _record(entry: StoreEntry, op: str = "put") -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "schema": STORE_SCHEMA,
+            "op": op,
+            "key": encode_key(entry.key),
+            "fingerprint": entry.fingerprint,
+            "created_unix_s": entry.created_unix_s,
+        }
+        if op == "put":
+            record["payload"] = entry.payload
+            if entry.machine is not None:
+                record["machine"] = entry.machine
+        return record
+
+    # -- mutation --------------------------------------------------------
+    def put(
+        self,
+        key: Tuple,
+        payload: Dict[str, object],
+        machine: Optional[str] = None,
+    ) -> None:
+        """Persist one solved plan (append + in-memory insert)."""
+        entry = StoreEntry(
+            key=key,
+            payload=payload,
+            fingerprint=str(key[0]),
+            machine=machine,
+            created_unix_s=time.time(),
+        )
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = entry
+            self._evict_overflow()
+            append_jsonl(self.path, self._record(entry))
+
+    def drop(self, key: Tuple) -> bool:
+        """Remove one entry (appends a tombstone); False if absent."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            append_jsonl(self.path, self._record(entry, op="drop"))
+            return True
+
+    def invalidate(self, predicate: Callable[[StoreEntry], bool]) -> int:
+        """Drop every entry ``predicate`` flags; returns the count."""
+        with self._lock:
+            doomed = [e for e in self._entries.values() if predicate(e)]
+            for entry in doomed:
+                del self._entries[entry.key]
+                append_jsonl(self.path, self._record(entry, op="drop"))
+        return len(doomed)
+
+    def sync_registry(
+        self, resolve_fingerprint: Callable[[str], Optional[str]]
+    ) -> int:
+        """Drop entries whose registry name no longer matches the fabric.
+
+        ``resolve_fingerprint(name)`` returns the chassis fingerprint
+        the registry currently compiles ``name`` to, or None when the
+        name no longer resolves.  Entries from inline fabrics (no
+        recorded name) are kept — they carry their full identity in the
+        fingerprint itself.  Returns the number of entries dropped.
+        """
+        cache: Dict[str, Optional[str]] = {}
+
+        def _stale(entry: StoreEntry) -> bool:
+            if entry.machine is None:
+                return False
+            if entry.machine not in cache:
+                cache[entry.machine] = resolve_fingerprint(entry.machine)
+            return cache[entry.machine] != entry.fingerprint
+
+        return self.invalidate(_stale)
+
+    # -- lookup ----------------------------------------------------------
+    def get(self, key: Tuple) -> Optional[Dict[str, object]]:
+        """The persisted payload for ``key``, or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.payload if entry is not None else None
+
+    def recent_entries(self, count: int) -> List[StoreEntry]:
+        """The ``count`` most recently written live entries, oldest
+        first (the order an LRU warm-up should insert them in)."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return entries[-count:] if count > 0 else []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        with self._lock:
+            return key in self._entries
